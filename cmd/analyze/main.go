@@ -1,0 +1,115 @@
+// Command analyze runs the measurement pipeline over a previously dumped
+// event log (the NDJSON produced by `hijacksim -events`), so one
+// simulation can be analyzed many times without re-running it — the same
+// separation between log collection and map-reduce analysis the paper's
+// methodology describes.
+//
+// Usage:
+//
+//	hijacksim -pop 8000 -days 30 -decoys 100 -events world.ndjson
+//	analyze -events world.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"manualhijack/internal/analysis"
+	"manualhijack/internal/behavior"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/report"
+)
+
+func main() {
+	eventsIn := flag.String("events", "", "NDJSON event log to analyze (required)")
+	flag.Parse()
+	if *eventsIn == "" {
+		fmt.Fprintln(os.Stderr, "analyze: -events is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*eventsIn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	s, err := logstore.ReadNDJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d records from %s\n\n", s.Len(), *eventsIn)
+
+	// Log overview.
+	kinds := s.KindCounts()
+	rows := [][]string{}
+	for _, k := range s.SortedKinds() {
+		rows = append(rows, []string{string(k), fmt.Sprintf("%d", kinds[k])})
+	}
+	report.Table(os.Stdout, "records by kind", []string{"kind", "count"}, rows)
+	fmt.Println()
+
+	// Lifecycle funnel.
+	lc := analysis.ComputeLifecycle(s)
+	fmt.Printf("lifecycle: %d lures → %d creds → %d entered → %d exploited → %d claims → %d recovered\n",
+		lc.LuresDelivered, lc.CredentialsCaptured, lc.AccountsEntered,
+		lc.AccountsExploited, lc.ClaimsFiled, lc.AccountsRecovered)
+	fmt.Println()
+
+	// Log-only reproductions of the paper's artifacts.
+	t3 := analysis.ComputeTable3(s)
+	if t3.N > 0 {
+		report.Bars(os.Stdout, "Table 3 — hijacker search terms", t3.Terms, 10)
+		fmt.Println()
+	}
+	f7 := analysis.ComputeFigure7(s)
+	if f7.Submitted > 0 {
+		fmt.Printf("Figure 7: %d decoys, accessed %s, ≤30min %s, ≤7h %s\n\n",
+			f7.Submitted, report.Pct(f7.AccessedShare),
+			report.Pct(f7.Within30Min), report.Pct(f7.Within7Hours))
+	}
+	f8 := analysis.ComputeFigure8(s)
+	if f8.IPDays > 0 {
+		fmt.Printf("Figure 8: %.1f accounts/IP-day (max %d) over %d IP-days; password-ok %s\n\n",
+			f8.MeanAccountsPerIPDay, f8.MaxAccountsPerIPDay, f8.IPDays,
+			report.Pct(f8.PasswordOKShare))
+	}
+	a := analysis.ComputeAssessment(s, 575)
+	if a.Cases > 0 {
+		fmt.Printf("§5.2: %d cases, mean assessment %s, exploited %s\n\n",
+			a.Cases, a.MeanDuration.Round(time.Second), report.Pct(a.ExploitedShare))
+	}
+	// Attribution (the synthetic IP plan is deterministic, so geolocation
+	// of dumped logs works without the original world).
+	plan := geo.NewIPPlan(4)
+	f11 := analysis.ComputeFigure11(s, plan, 3000)
+	if f11.Cases > 0 {
+		report.Bars(os.Stdout, "Figure 11 — hijack-case IP countries", f11.Shares, 8)
+		fmt.Println()
+	}
+	f12 := analysis.ComputeFigure12(s, 300)
+	if f12.Phones > 0 {
+		report.Bars(os.Stdout, "Figure 12 — hijacker 2SV phone countries", f12.Shares, 8)
+		fmt.Println()
+	}
+	ws := analysis.ComputeWorkSchedule(s)
+	if ws.Logins > 0 {
+		fmt.Printf("§5.5: weekend %s, lunch dip %s over %d hijacker logins\n\n",
+			report.Pct(ws.WeekendShare), report.Pct(ws.LunchDip), ws.Logins)
+	}
+	m := analysis.ComputeMonetization(s)
+	if m.PleaRecipients > 0 {
+		fmt.Printf("funnel: %d pleas → %d engaged → %d reached crew → %d wires ($%.0f)\n\n",
+			m.PleaRecipients, m.Replies, m.ReachedCrew, m.Payments, m.Revenue)
+	}
+	ev := analysis.EvaluateBehaviorDetector(s, behavior.DefaultConfig())
+	if ev.HijackSessions > 0 {
+		fmt.Printf("behavioral detector replay: precision %s recall %s exposure %s\n",
+			report.Pct(ev.Precision), report.Pct(ev.Recall),
+			ev.MeanExposure.Round(time.Second))
+	}
+}

@@ -1,0 +1,83 @@
+// Command hijacksim runs a single simulated world — population, phishing
+// campaigns, hijacker crews, defenses — and prints the raw event-log
+// statistics plus per-crew activity. With -events it also dumps the whole
+// log as NDJSON for external analysis.
+//
+// Usage:
+//
+//	hijacksim [-seed N] [-pop N] [-days N] [-decoys N] [-events file.ndjson]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"manualhijack/internal/core"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/report"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	pop := flag.Int("pop", 8000, "population size")
+	days := flag.Int("days", 30, "window length in days")
+	decoys := flag.Int("decoys", 0, "decoy accounts to inject")
+	eventsOut := flag.String("events", "", "write the event log as NDJSON to this file")
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*seed)
+	cfg.PopulationN = *pop
+	cfg.Days = *days
+	cfg.DecoyN = *decoys
+
+	w := core.NewWorld(cfg)
+	if *decoys > 0 {
+		w.InjectDecoys(time.Duration(*days) * 16 * time.Hour)
+	}
+	start := time.Now()
+	w.Run()
+	elapsed := time.Since(start)
+
+	kinds := w.Log.KindCounts()
+	rows := make([][]string, 0, len(kinds))
+	for _, k := range w.Log.SortedKinds() {
+		rows = append(rows, []string{string(k), fmt.Sprintf("%d", kinds[k])})
+	}
+	report.Table(os.Stdout, fmt.Sprintf("event log (%d records, simulated %dd in %s)",
+		w.Log.Len(), *days, elapsed.Round(time.Millisecond)),
+		[]string{"kind", "count"}, rows)
+
+	crewRows := [][]string{}
+	for _, c := range w.Crews {
+		crewRows = append(crewRows, []string{
+			c.Name(), string(c.Country()),
+			fmt.Sprintf("%d", c.Processed), fmt.Sprintf("%d", c.LoggedIn),
+			fmt.Sprintf("%d", c.Exploited), fmt.Sprintf("%d", c.Abandoned),
+			fmt.Sprintf("%d", c.LockedOut), fmt.Sprintf("%d", c.PhoneLocks),
+		})
+	}
+	fmt.Println()
+	report.Table(os.Stdout, "crews",
+		[]string{"crew", "cc", "processed", "in", "exploited", "abandoned", "locked", "2sv"},
+		crewRows)
+
+	if *eventsOut != "" {
+		if err := dumpNDJSON(w, *eventsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hijacksim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d events to %s\n", w.Log.Len(), *eventsOut)
+	}
+}
+
+// dumpNDJSON writes the event log in the format cmd/analyze reads.
+func dumpNDJSON(w *core.World, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return logstore.WriteNDJSON(f, w.Log)
+}

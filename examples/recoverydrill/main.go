@@ -1,0 +1,88 @@
+// Recoverydrill: walk one account through the full hijack-and-remediate
+// lifecycle by hand — phish the credential, let the crew exploit and lock
+// the account, then drive the §6 recovery workflow and verify remission
+// restored everything the hijacker damaged.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"manualhijack/internal/core"
+	"manualhijack/internal/event"
+	"manualhijack/internal/logstore"
+)
+
+func main() {
+	cfg := core.DefaultConfig(11)
+	cfg.PopulationN = 2000
+	cfg.Days = 21
+	w := core.NewWorld(cfg)
+	w.Run()
+
+	// Find a victim who was locked out and later recovered.
+	resolved := logstore.SelectWhere(w.Log, func(r event.ClaimResolved) bool { return r.Success })
+	if len(resolved) == 0 {
+		fmt.Println("no successful recovery in this window; try another seed")
+		return
+	}
+	victim := resolved[0].Account
+	acct := w.Dir.Get(victim)
+	fmt.Printf("following account %d (%s)\n\n", victim, acct.Addr)
+
+	// Replay this account's story from the log.
+	w.Log.Scan(func(e event.Event) {
+		switch ev := e.(type) {
+		case event.CredentialPhished:
+			if ev.Account == victim {
+				step(ev.When(), "credential phished on page %d", ev.Page)
+			}
+		case event.Login:
+			if ev.Account == victim && ev.Actor == event.ActorHijacker {
+				step(ev.When(), "hijacker login from %s → %s (risk %.2f)", ev.IP, ev.Outcome, ev.RiskScore)
+			}
+		case event.HijackAssessed:
+			if ev.Account == victim {
+				step(ev.When(), "value assessed in %s → exploited=%v", ev.Duration.Round(time.Second), ev.Exploited)
+			}
+		case event.MessageSent:
+			if ev.FromAcct == victim && ev.Actor == event.ActorHijacker {
+				step(ev.When(), "hijacker sent %s to %d recipients", ev.Class, len(ev.Recipients))
+			}
+		case event.PasswordChanged:
+			if ev.Account == victim {
+				step(ev.When(), "password changed by %s", ev.Actor)
+			}
+		case event.NotificationSent:
+			if ev.Account == victim {
+				step(ev.When(), "notification over %s (%s)", ev.Channel, ev.Reason)
+			}
+		case event.ClaimFiled:
+			if ev.Account == victim {
+				step(ev.When(), "owner filed recovery claim (trigger: %s)", ev.Trigger)
+			}
+		case event.ClaimAttempt:
+			if ev.Account == victim {
+				step(ev.When(), "verification via %s → success=%v %s", ev.Method, ev.Success, ev.Reason)
+			}
+		case event.ClaimResolved:
+			if ev.Account == victim {
+				lat := ev.When().Sub(ev.FlaggedAt).Round(time.Minute)
+				step(ev.When(), "claim resolved success=%v via %s (latency %s)", ev.Success, ev.Method, lat)
+			}
+		case event.Remission:
+			if ev.Account == victim {
+				step(ev.When(), "remission: restored %d messages, cleared settings=%v",
+					ev.RestoredMessages, ev.ClearedSettings)
+			}
+		}
+	})
+
+	fmt.Printf("\nfinal state: password fresh=%v, 2SV lockout=%v, mailbox=%d messages\n",
+		acct.PasswordSetAt.After(cfg.Start), acct.LockedByPhone, w.Mail.Mailbox(victim).Len())
+}
+
+func step(at time.Time, format string, args ...any) {
+	fmt.Printf("  %s  ", at.Format("Jan 02 15:04:05"))
+	fmt.Printf(format+"\n", args...)
+}

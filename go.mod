@@ -1,0 +1,3 @@
+module manualhijack
+
+go 1.22

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"time"
+
+	"manualhijack/internal/datasets"
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+)
+
+// Figure11 is the country mix of IPs involved in hijack cases
+// (Dataset 13; paper: China and Malaysia dominate, South Africa ≈10%).
+type Figure11 struct {
+	Shares []stats.Entry
+	Cases  int
+}
+
+// ComputeFigure11 reproduces Figure 11 by geolocating one login IP per
+// hijack case.
+func ComputeFigure11(s *logstore.Store, plan *geo.IPPlan, cases int) Figure11 {
+	var c stats.Counter
+	logins := datasets.D13HijackIPs(s, cases)
+	for _, l := range logins {
+		c.Add(string(plan.Locate(l.IP)))
+	}
+	return Figure11{Shares: c.Sorted(), Cases: c.Total()}
+}
+
+// Figure12 is the country mix of phones hijackers enrolled for 2SV
+// lockouts (Dataset 14; paper: CI 33.8%, NG 31.4%, ZA 8.4%, FR 6.4%).
+type Figure12 struct {
+	Shares []stats.Entry
+	Phones int
+}
+
+// ComputeFigure12 reproduces Figure 12 by parsing phone country codes.
+func ComputeFigure12(s *logstore.Store, n int) Figure12 {
+	var c stats.Counter
+	for _, e := range datasets.D14HijackerPhones(s, n) {
+		c.Add(string(geo.PhoneCountry(e.Phone)))
+	}
+	return Figure12{Shares: c.Sorted(), Phones: c.Total()}
+}
+
+// BaseRates holds §3's headline volume numbers.
+type BaseRates struct {
+	// HijacksPerMillionActivePerDay is the manual-hijack incidence rate
+	// (paper: ≈9 per million active users per day in 2012–2013).
+	HijacksPerMillionActivePerDay float64
+	Hijacks                       int
+	ActiveAccounts                int
+	Days                          float64
+	// PagesPerWeek is the anti-phishing pipeline's weekly detection volume
+	// (paper, at Google scale: 16,000–25,000/week).
+	PagesPerWeek []int
+}
+
+// ComputeBaseRates reproduces §3's rates. activeAccounts is the number of
+// accounts active in the window (the paper's 30-day definition).
+func ComputeBaseRates(s *logstore.Store, start, end time.Time, activeAccounts int) BaseRates {
+	hijacked := map[int32]bool{}
+	for _, h := range logstore.Select[event.HijackStarted](s) {
+		hijacked[int32(h.Account)] = true
+	}
+	days := end.Sub(start).Hours() / 24
+	out := BaseRates{
+		Hijacks:        len(hijacked),
+		ActiveAccounts: activeAccounts,
+		Days:           days,
+		PagesPerWeek:   SafeBrowsingWeekly(s, start),
+	}
+	if activeAccounts > 0 && days > 0 {
+		out.HijacksPerMillionActivePerDay =
+			float64(len(hijacked)) / (float64(activeAccounts) / 1e6) / days
+	}
+	return out
+}

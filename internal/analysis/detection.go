@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"time"
+
+	"manualhijack/internal/behavior"
+	"manualhijack/internal/event"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+)
+
+// DetectionEval is the offline evaluation of the post-login behavioral
+// detector (§5.2 proposes it; §8.2 cautions it fires after exposure). The
+// evaluation replays the observable event stream through the detector —
+// exactly the data a live deployment would see — and scores the flags
+// against the simulation's ground truth.
+type DetectionEval struct {
+	HijackSessions  int
+	OrganicSessions int
+	TruePositives   int
+	FalsePositives  int
+	Precision       float64
+	Recall          float64
+	// MeanExposure is how long flagged hijack sessions ran before the
+	// flag — the paper's "already too late" window.
+	MeanExposure time.Duration
+}
+
+// EvaluateBehaviorDetector replays the log through a detector with the
+// given configuration.
+func EvaluateBehaviorDetector(s *logstore.Store, cfg behavior.Config) DetectionEval {
+	det := behavior.NewDetector(cfg)
+	sessionActor := map[event.SessionID]event.Actor{}
+
+	observe := func(sess event.SessionID, a behavior.Action) {
+		if sess != 0 {
+			det.Observe(sess, a)
+		}
+	}
+	s.Scan(func(e event.Event) {
+		switch ev := e.(type) {
+		case event.Login:
+			if ev.Outcome == event.LoginSuccess {
+				det.Begin(ev.Session, ev.When())
+				sessionActor[ev.Session] = ev.Actor
+			}
+		case event.Search:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionSearch, Query: ev.Query, At: ev.When()})
+		case event.FolderOpened:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionFolderOpen, Folder: ev.Folder, At: ev.When()})
+		case event.ContactsViewed:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionContactsView, At: ev.When()})
+		case event.FilterCreated:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionFilterCreate, ForwardOut: ev.ForwardTo != "", At: ev.When()})
+		case event.ReplyToSet:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionReplyToSet, At: ev.When()})
+		case event.MessageSent:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionSend, Recipients: len(ev.Recipients), At: ev.When()})
+		case event.MassDeletion:
+			observe(ev.Session, behavior.Action{Type: behavior.ActionMassDelete, At: ev.When()})
+		}
+	})
+
+	var out DetectionEval
+	var exposure time.Duration
+	for sess, actor := range sessionActor {
+		hijack := actor == event.ActorHijacker
+		if hijack {
+			out.HijackSessions++
+		} else {
+			out.OrganicSessions++
+		}
+		if _, flagged := det.FlaggedAt(sess); !flagged {
+			continue
+		}
+		if hijack {
+			out.TruePositives++
+			if exp, ok := det.ExposureTime(sess); ok {
+				exposure += exp
+			}
+		} else {
+			out.FalsePositives++
+		}
+	}
+	out.Precision = stats.Ratio(float64(out.TruePositives), float64(out.TruePositives+out.FalsePositives))
+	out.Recall = stats.Ratio(float64(out.TruePositives), float64(out.HijackSessions))
+	if out.TruePositives > 0 {
+		out.MeanExposure = exposure / time.Duration(out.TruePositives)
+	}
+	return out
+}
+
+// RiskOperatingPoint is one row of the login-risk threshold sweep: the
+// counterfactual effect of challenging every login scoring at or above
+// the threshold, computed from the logged risk scores.
+//
+// This is a post-hoc approximation (the world is not re-run per
+// threshold): "caught" hijacker logins are successful hijacker logins
+// that would have been challenged, and "friction" is the share of
+// legitimate logins that would have been challenged — the §8.1 trade-off.
+type RiskOperatingPoint struct {
+	Threshold        float64
+	HijackerCaught   float64 // share of successful hijacker logins challenged
+	OwnerChallenged  float64 // share of owner logins challenged (false positives)
+	HijackerAttempts int
+	OwnerAttempts    int
+}
+
+// SweepRiskThreshold evaluates the thresholds over the logged scores.
+func SweepRiskThreshold(s *logstore.Store, thresholds []float64) []RiskOperatingPoint {
+	type obs struct {
+		score   float64
+		hijack  bool
+		success bool
+	}
+	var all []obs
+	for _, l := range logstore.Select[event.Login](s) {
+		all = append(all, obs{
+			score:   l.RiskScore,
+			hijack:  l.Actor == event.ActorHijacker,
+			success: l.Outcome == event.LoginSuccess,
+		})
+	}
+	out := make([]RiskOperatingPoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		var pt RiskOperatingPoint
+		pt.Threshold = t
+		var hijackSuccess, hijackCaught, owner, ownerChal int
+		for _, o := range all {
+			if o.hijack {
+				if o.success {
+					hijackSuccess++
+					if o.score >= t {
+						hijackCaught++
+					}
+				}
+			} else {
+				owner++
+				if o.score >= t {
+					ownerChal++
+				}
+			}
+		}
+		pt.HijackerAttempts = hijackSuccess
+		pt.OwnerAttempts = owner
+		pt.HijackerCaught = stats.Ratio(float64(hijackCaught), float64(hijackSuccess))
+		pt.OwnerChallenged = stats.Ratio(float64(ownerChal), float64(owner))
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+	"manualhijack/internal/strsim"
+)
+
+// DoppelgangerFinding is one flagged redirection setting.
+type DoppelgangerFinding struct {
+	Account    identity.AccountID
+	Addr       identity.Address
+	Similarity float64
+	Kind       string // "replyto" | "filter"
+	Hijacker   bool   // ground truth, for evaluation
+}
+
+// DoppelgangerEval evaluates the §5.4 countermeasure the paper calls
+// essential: reviewing Reply-To and forwarding settings during recovery.
+// The detector flags configured addresses that are suspiciously similar
+// to the account's own address — the signature of a doppelganger account
+// diverting future correspondence.
+type DoppelgangerEval struct {
+	Findings       []DoppelgangerFinding
+	TruePositives  int
+	FalsePositives int
+	// HijackerSettings counts all hijacker-configured redirections, so
+	// recall is computable.
+	HijackerSettings int
+	Precision        float64
+	Recall           float64
+	// MeanHijackerSim / MeanOwnerSim show the separation the detector
+	// exploits.
+	MeanHijackerSim float64
+	MeanOwnerSim    float64
+}
+
+// EvaluateDoppelgangerDetector scans redirection settings in the log and
+// flags those within threshold similarity of the account's address.
+func EvaluateDoppelgangerDetector(s *logstore.Store, dir *identity.Directory, threshold float64) DoppelgangerEval {
+	var out DoppelgangerEval
+	var hijackSim, ownerSim stats.Sample
+
+	consider := func(acct identity.AccountID, addr identity.Address, kind string, actor event.Actor) {
+		if addr == "" {
+			return
+		}
+		a := dir.Get(acct)
+		if a == nil {
+			return
+		}
+		sim := strsim.Similarity(string(a.Addr), string(addr))
+		hijacker := actor == event.ActorHijacker
+		if hijacker {
+			out.HijackerSettings++
+			hijackSim.Add(sim)
+		} else {
+			ownerSim.Add(sim)
+		}
+		if sim < threshold {
+			return
+		}
+		out.Findings = append(out.Findings, DoppelgangerFinding{
+			Account: acct, Addr: addr, Similarity: sim, Kind: kind, Hijacker: hijacker,
+		})
+		if hijacker {
+			out.TruePositives++
+		} else {
+			out.FalsePositives++
+		}
+	}
+
+	s.Scan(func(e event.Event) {
+		switch ev := e.(type) {
+		case event.ReplyToSet:
+			consider(ev.Account, ev.Addr, "replyto", ev.Actor)
+		case event.FilterCreated:
+			consider(ev.Account, ev.ForwardTo, "filter", ev.Actor)
+		}
+	})
+
+	out.Precision = stats.Ratio(float64(out.TruePositives), float64(out.TruePositives+out.FalsePositives))
+	out.Recall = stats.Ratio(float64(out.TruePositives), float64(out.HijackerSettings))
+	out.MeanHijackerSim = hijackSim.Mean()
+	out.MeanOwnerSim = ownerSim.Mean()
+	return out
+}

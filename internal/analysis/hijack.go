@@ -1,0 +1,577 @@
+package analysis
+
+import (
+	"time"
+
+	"manualhijack/internal/datasets"
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/mail"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/stats"
+)
+
+// Figure7 is the decoy-credential access-speed experiment (Dataset 4).
+type Figure7 struct {
+	Submitted     int
+	Accessed      int
+	AccessedShare float64
+	Within30Min   float64 // share of accessed decoys reached within 30 min
+	Within7Hours  float64
+	Delays        *stats.Sample // hours
+}
+
+// ComputeFigure7 reproduces Figure 7.
+func ComputeFigure7(s *logstore.Store) Figure7 {
+	accesses := datasets.D4DecoyAccesses(s)
+	fig := Figure7{Submitted: len(accesses), Delays: &stats.Sample{}}
+	for _, a := range accesses {
+		if !a.Accessed {
+			continue
+		}
+		fig.Accessed++
+		fig.Delays.Add(a.AccessedAt.Sub(a.SubmittedAt).Hours())
+	}
+	fig.AccessedShare = stats.Ratio(float64(fig.Accessed), float64(fig.Submitted))
+	if fig.Accessed > 0 {
+		fig.Within30Min = fig.Delays.FracBelow(0.5)
+		fig.Within7Hours = fig.Delays.FracBelow(7)
+	}
+	return fig
+}
+
+// Figure8 is hijacker activity per IP per day (Dataset 5). The paper's
+// figure plots two daily series over a two-week window: average attempts
+// per IP and average successes per IP.
+type Figure8 struct {
+	MeanAttemptsPerIPDay float64
+	MeanAccountsPerIPDay float64
+	MaxAccountsPerIPDay  int
+	// SuccessShare is successes/attempts; PasswordOKShare is the share of
+	// attempts with a correct password (§5.1: ~75% including retries).
+	SuccessShare    float64
+	PasswordOKShare float64
+	IPDays          int
+	// DailyAttempts and DailySuccesses are the per-day averages per active
+	// hijacker IP — the two lines of the paper's plot.
+	DailyAttempts  []float64
+	DailySuccesses []float64
+}
+
+// ComputeFigure8 reproduces Figure 8.
+func ComputeFigure8(s *logstore.Store) Figure8 {
+	type key struct {
+		ip  string
+		day time.Time
+	}
+	attempts := map[key]int{}
+	accounts := map[key]map[identity.AccountID]bool{}
+	totalAttempts, okPasswords, successes := 0, 0, 0
+	for _, l := range datasets.D5HijackerLogins(s) {
+		day := l.When().Truncate(24 * time.Hour)
+		k := key{l.IP.String(), day}
+		attempts[k]++
+		if accounts[k] == nil {
+			accounts[k] = map[identity.AccountID]bool{}
+		}
+		accounts[k][l.Account] = true
+		totalAttempts++
+		if l.PasswordOK {
+			okPasswords++
+		}
+		if l.Outcome == event.LoginSuccess {
+			successes++
+		}
+	}
+	var fig Figure8
+	fig.IPDays = len(attempts)
+	if fig.IPDays == 0 {
+		return fig
+	}
+	sumAtt, sumAcc := 0, 0
+	var firstDay, lastDay time.Time
+	dayAttempts := map[time.Time]int{}
+	dayIPs := map[time.Time]int{}
+	for k, n := range attempts {
+		sumAtt += n
+		na := len(accounts[k])
+		sumAcc += na
+		if na > fig.MaxAccountsPerIPDay {
+			fig.MaxAccountsPerIPDay = na
+		}
+		dayAttempts[k.day] += n
+		dayIPs[k.day]++
+		if firstDay.IsZero() || k.day.Before(firstDay) {
+			firstDay = k.day
+		}
+		if k.day.After(lastDay) {
+			lastDay = k.day
+		}
+	}
+	daySuccess := map[time.Time]int{}
+	for _, l := range datasets.D5HijackerLogins(s) {
+		if l.Outcome == event.LoginSuccess {
+			daySuccess[l.When().Truncate(24*time.Hour)]++
+		}
+	}
+	for d := firstDay; !d.After(lastDay); d = d.Add(24 * time.Hour) {
+		ips := dayIPs[d]
+		if ips == 0 {
+			fig.DailyAttempts = append(fig.DailyAttempts, 0)
+			fig.DailySuccesses = append(fig.DailySuccesses, 0)
+			continue
+		}
+		fig.DailyAttempts = append(fig.DailyAttempts, float64(dayAttempts[d])/float64(ips))
+		fig.DailySuccesses = append(fig.DailySuccesses, float64(daySuccess[d])/float64(ips))
+	}
+	fig.MeanAttemptsPerIPDay = float64(sumAtt) / float64(fig.IPDays)
+	fig.MeanAccountsPerIPDay = float64(sumAcc) / float64(fig.IPDays)
+	fig.SuccessShare = stats.Ratio(float64(successes), float64(totalAttempts))
+	fig.PasswordOKShare = stats.Ratio(float64(okPasswords), float64(totalAttempts))
+	return fig
+}
+
+// Table3 is the hijacker search-term frequency table (Dataset 6).
+type Table3 struct {
+	Terms        []stats.Entry
+	FinanceShare float64
+	CredShare    float64
+	N            int
+	// NonEnglish reports whether Spanish/Chinese terms appear — the
+	// regional fingerprint §5.2 notes.
+	HasSpanish bool
+	HasChinese bool
+}
+
+// ComputeTable3 reproduces Table 3.
+func ComputeTable3(s *logstore.Store) Table3 {
+	var c stats.Counter
+	for _, q := range datasets.D6SearchKeywords(s) {
+		c.Add(q.Query)
+	}
+	t := Table3{Terms: c.Sorted(), N: c.Total()}
+	finance := map[string]bool{}
+	for _, k := range mail.FinanceKeywords {
+		finance[k] = true
+	}
+	financeExtra := map[string]bool{"wire transfer": true, "bank transfer": true,
+		"transfer": true, "wire": true, "bank": true, "transferencia": true,
+		"investment": true, "banco": true, "账单": true, "statement": true,
+		"signature": true}
+	cred := map[string]bool{}
+	for _, k := range mail.CredentialKeywords {
+		cred[k] = true
+	}
+	for _, e := range t.Terms {
+		switch {
+		case finance[e.Key] || financeExtra[e.Key]:
+			t.FinanceShare += e.Share
+		case cred[e.Key]:
+			t.CredShare += e.Share
+		}
+		if e.Key == "transferencia" || e.Key == "banco" {
+			t.HasSpanish = true
+		}
+		if e.Key == "账单" {
+			t.HasChinese = true
+		}
+	}
+	return t
+}
+
+// Assessment summarizes the value-assessment phase (§5.2, Dataset 7).
+type Assessment struct {
+	Cases           int
+	MeanDuration    time.Duration
+	MedianDuration  time.Duration
+	ExploitedShare  float64
+	FolderOpenRates map[event.Folder]float64
+}
+
+// ComputeAssessment reproduces the §5.2 measurements from the hijack
+// lifecycle events and the per-session folder opens.
+func ComputeAssessment(s *logstore.Store, sampleSize int) Assessment {
+	accounts := datasets.D7HijackedAccounts(s, sampleSize)
+	inSet := map[identity.AccountID]bool{}
+	for _, a := range accounts {
+		inSet[a] = true
+	}
+
+	var durations stats.Sample
+	exploited := 0
+	cases := 0
+	for _, a := range logstore.Select[event.HijackAssessed](s) {
+		if !inSet[a.Account] {
+			continue
+		}
+		cases++
+		durations.AddDuration(a.Duration)
+		if a.Exploited {
+			exploited++
+		}
+	}
+	// Folder-open rates across hijack cases.
+	opened := map[event.Folder]map[identity.AccountID]bool{}
+	for _, f := range logstore.Select[event.FolderOpened](s) {
+		if f.Actor != event.ActorHijacker || !inSet[f.Account] {
+			continue
+		}
+		if opened[f.Folder] == nil {
+			opened[f.Folder] = map[identity.AccountID]bool{}
+		}
+		opened[f.Folder][f.Account] = true
+	}
+	rates := map[event.Folder]float64{}
+	for folder, set := range opened {
+		rates[folder] = stats.Ratio(float64(len(set)), float64(cases))
+	}
+	return Assessment{
+		Cases:           cases,
+		MeanDuration:    time.Duration(durations.Mean() * float64(time.Second)),
+		MedianDuration:  time.Duration(durations.Median() * float64(time.Second)),
+		ExploitedShare:  stats.Ratio(float64(exploited), float64(cases)),
+		FolderOpenRates: rates,
+	}
+}
+
+// Exploitation summarizes §5.3's mail-delta and message-mix measurements.
+type Exploitation struct {
+	// Deltas comparing the hijack day to the previous day, averaged over
+	// exploited accounts.
+	VolumeDelta     float64 // paper: +25%
+	RecipientsDelta float64 // paper: +630%
+	ReportsDelta    float64 // paper: +39%
+	// Message mix among hijacker-sent mail (Dataset 8 review).
+	ScamShare  float64 // paper: 65%
+	PhishShare float64 // paper: 35%
+	// AtMostFiveMessages is the share of victims who had ≤5 hijacker
+	// messages sent from their account (paper: 65%).
+	AtMostFiveMessages float64
+	// SmallCustomizedShare is the share of hijack cases whose messages had
+	// <10 recipients (paper: 6%, tending to be customized);
+	// CustomizedGivenSmall is how often those were customized.
+	SmallCustomizedShare float64
+	CustomizedGivenSmall float64
+	Cases                int
+}
+
+// ComputeExploitation reproduces §5.3 from Datasets 7 and 8.
+func ComputeExploitation(s *logstore.Store, sampleSize int) Exploitation {
+	accounts := datasets.D7HijackedAccounts(s, sampleSize)
+	inSet := map[identity.AccountID]bool{}
+	for _, a := range accounts {
+		inSet[a] = true
+	}
+	hijackDay := map[identity.AccountID]time.Time{}
+	for _, h := range logstore.Select[event.HijackStarted](s) {
+		if inSet[h.Account] {
+			if _, ok := hijackDay[h.Account]; !ok {
+				hijackDay[h.Account] = h.When().Truncate(24 * time.Hour)
+			}
+		}
+	}
+
+	type dayStats struct {
+		msgs       int
+		recipients map[identity.Address]bool
+		reports    int
+	}
+	perDay := map[identity.AccountID]map[time.Time]*dayStats{}
+	ensure := func(acct identity.AccountID, day time.Time) *dayStats {
+		if perDay[acct] == nil {
+			perDay[acct] = map[time.Time]*dayStats{}
+		}
+		ds := perDay[acct][day]
+		if ds == nil {
+			ds = &dayStats{recipients: map[identity.Address]bool{}}
+			perDay[acct][day] = ds
+		}
+		return ds
+	}
+
+	var scam, phish, hijackerMsgs int
+	msgsPerCase := map[identity.AccountID]int{}
+	smallCase := map[identity.AccountID]bool{}
+	customizedSmall := map[identity.AccountID]bool{}
+	for _, m := range logstore.Select[event.MessageSent](s) {
+		if m.FromAcct == identity.None || !inSet[m.FromAcct] {
+			continue
+		}
+		day := m.When().Truncate(24 * time.Hour)
+		ds := ensure(m.FromAcct, day)
+		ds.msgs++
+		for _, r := range m.Recipients {
+			ds.recipients[r] = true
+		}
+		if m.Actor == event.ActorHijacker {
+			hijackerMsgs++
+			msgsPerCase[m.FromAcct]++
+			switch m.Class {
+			case event.ClassScam:
+				scam++
+			case event.ClassPhish:
+				phish++
+			}
+			if len(m.Recipients) < 10 {
+				smallCase[m.FromAcct] = true
+				if m.Customized {
+					customizedSmall[m.FromAcct] = true
+				}
+			}
+		}
+	}
+	for _, r := range logstore.Select[event.SpamReported](s) {
+		if r.FromAcct == identity.None || !inSet[r.FromAcct] {
+			continue
+		}
+		// Attribute the report to the day the message was sent; sending
+		// day ≈ report day - reporting delay, so approximate with the
+		// hijack-day bucket test below using the report time.
+		day := r.When().Truncate(24 * time.Hour)
+		ensure(r.FromAcct, day).reports++
+	}
+
+	var volBase, volHijack, rcptBase, rcptHijack, repBase, repHijack float64
+	exploitedCases := 0
+	for acct, day := range hijackDay {
+		days := perDay[acct]
+		if days == nil {
+			continue
+		}
+		prev := day.Add(-24 * time.Hour)
+		h, hasH := days[day]
+		p, hasP := days[prev]
+		if !hasH {
+			continue
+		}
+		exploitedCases++
+		volHijack += float64(h.msgs)
+		rcptHijack += float64(len(h.recipients))
+		repHijack += float64(h.reports)
+		if hasP {
+			volBase += float64(p.msgs)
+			rcptBase += float64(len(p.recipients))
+			repBase += float64(p.reports)
+		}
+	}
+	// Baselines of zero (quiet accounts) are common in a small sim; use
+	// per-account averages with a floor so the deltas stay meaningful.
+	if volBase == 0 {
+		volBase = float64(exploitedCases)
+	}
+	if rcptBase == 0 {
+		rcptBase = float64(exploitedCases)
+	}
+	if repBase == 0 {
+		repBase = 1
+	}
+
+	atMostFive := 0
+	for _, a := range accounts {
+		if n, ok := msgsPerCase[a]; ok && n <= 5 {
+			atMostFive++
+		}
+	}
+	casesWithMsgs := len(msgsPerCase)
+
+	return Exploitation{
+		VolumeDelta:          stats.PercentDelta(volBase, volHijack),
+		RecipientsDelta:      stats.PercentDelta(rcptBase, rcptHijack),
+		ReportsDelta:         stats.PercentDelta(repBase, repHijack),
+		ScamShare:            stats.Ratio(float64(scam), float64(scam+phish)),
+		PhishShare:           stats.Ratio(float64(phish), float64(scam+phish)),
+		AtMostFiveMessages:   stats.Ratio(float64(atMostFive), float64(casesWithMsgs)),
+		SmallCustomizedShare: stats.Ratio(float64(len(smallCase)), float64(casesWithMsgs)),
+		CustomizedGivenSmall: stats.Ratio(float64(len(customizedSmall)), float64(len(smallCase))),
+		Cases:                exploitedCases,
+	}
+}
+
+// ContactRisk is §5.3's cohort experiment: contacts of victims vs random
+// active users, hijack rate over the following window (paper: 36×).
+type ContactRisk struct {
+	ContactCohort int
+	RandomCohort  int
+	ContactRate   float64
+	RandomRate    float64
+	Multiplier    float64
+}
+
+// ComputeContactRisk reproduces the Dataset 9 experiment: sample the
+// contacts of accounts hijacked *recently* (within recruit of the cutoff,
+// as the paper sampled contacts of current hijack cases), sample random
+// active users, and count hijacks over the following window.
+//
+// Finite-population correction: the random cohort excludes contacts of
+// *any* pre-cutoff victim. At Google scale a random user sample has
+// essentially zero overlap with hijackers' harvested contact pools; in a
+// simulated population of tens of thousands the pools would otherwise
+// contaminate the control cohort.
+func ComputeContactRisk(s *logstore.Store, dir *identity.Directory, cutoff time.Time, recruit, window time.Duration, n int) ContactRisk {
+	hijackedPre := map[identity.AccountID]bool{}
+	recentVictims := map[identity.AccountID]bool{}
+	for _, h := range logstore.Select[event.HijackStarted](s) {
+		if !h.When().Before(cutoff) {
+			continue
+		}
+		hijackedPre[h.Account] = true
+		if cutoff.Sub(h.When()) <= recruit {
+			recentVictims[h.Account] = true
+		}
+	}
+	contactOfAny := map[identity.AccountID]bool{}
+	contactOfRecent := map[identity.AccountID]bool{}
+	for id := range hijackedPre {
+		a := dir.Get(id)
+		if a == nil {
+			continue
+		}
+		for _, addr := range a.Contacts {
+			cid := dir.Lookup(addr)
+			if cid == identity.None || hijackedPre[cid] {
+				continue
+			}
+			contactOfAny[cid] = true
+			if recentVictims[id] {
+				contactOfRecent[cid] = true
+			}
+		}
+	}
+	var contactList, randomList []identity.AccountID
+	dir.All(func(a *identity.Account) {
+		switch {
+		case contactOfRecent[a.ID]:
+			contactList = append(contactList, a.ID)
+		case !contactOfAny[a.ID] && !hijackedPre[a.ID] && a.Active(cutoff):
+			randomList = append(randomList, a.ID)
+		}
+	})
+	contacts := randx.Sample(randx.New(0xD9).Fork("contacts"), contactList, n)
+	random := randx.Sample(randx.New(0xD9).Fork("random"), randomList, n)
+
+	hijackedAfter := map[identity.AccountID]bool{}
+	for _, h := range logstore.Select[event.HijackStarted](s) {
+		if h.When().After(cutoff) && h.When().Sub(cutoff) <= window {
+			hijackedAfter[h.Account] = true
+		}
+	}
+	count := func(cohort []identity.AccountID) int {
+		n := 0
+		for _, id := range cohort {
+			if hijackedAfter[id] {
+				n++
+			}
+		}
+		return n
+	}
+	cr := ContactRisk{ContactCohort: len(contacts), RandomCohort: len(random)}
+	cr.ContactRate = stats.Ratio(float64(count(contacts)), float64(len(contacts)))
+	cr.RandomRate = stats.Ratio(float64(count(random)), float64(len(random)))
+	// With zero hits in the random cohort the multiplier is unbounded;
+	// report a conservative lower bound by flooring the random rate at
+	// half an event over the cohort.
+	denom := cr.RandomRate
+	if denom == 0 && len(random) > 0 {
+		denom = 0.5 / float64(len(random))
+	}
+	cr.Multiplier = stats.Ratio(cr.ContactRate, denom)
+	return cr
+}
+
+// Retention summarizes §5.4's retention-tactic prevalence for one era.
+type Retention struct {
+	Cases                      int
+	LockoutShare               float64
+	FilterShare                float64 // paper 2012: 15%
+	ReplyToShare               float64 // paper 2012: 26%
+	MassDeleteGivenLockout     float64 // paper: 46% (2011) → 1.6% (2012)
+	RecoveryChangeGivenLockout float64 // paper: 60% (2011) → 21% (2012)
+	TwoSVLockouts              int
+}
+
+// ComputeRetention reproduces the §5.4 tactic measurements from a world's
+// hijack cases. The case base is restricted to *exploited* hijacks: the
+// paper's high-confidence samples were selected from recovery claims that
+// "clearly indicate" manual hijacking — victims who noticed, i.e., whose
+// accounts were actually worked, not assessed-and-abandoned.
+func ComputeRetention(s *logstore.Store, sampleSize int) Retention {
+	exploited := map[identity.AccountID]bool{}
+	for _, h := range logstore.Select[event.HijackAssessed](s) {
+		if h.Exploited {
+			exploited[h.Account] = true
+		}
+	}
+	inSet := map[identity.AccountID]bool{}
+	var accounts []identity.AccountID
+	for _, a := range datasets.D7HijackedAccounts(s, sampleSize) {
+		if exploited[a] {
+			inSet[a] = true
+			accounts = append(accounts, a)
+		}
+	}
+	has := func(kinds ...event.Kind) map[identity.AccountID]bool {
+		out := map[identity.AccountID]bool{}
+		s.Scan(func(e event.Event) {
+			for _, k := range kinds {
+				if e.EventKind() != k {
+					continue
+				}
+				switch ev := e.(type) {
+				case event.PasswordChanged:
+					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
+						out[ev.Account] = true
+					}
+				case event.FilterCreated:
+					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
+						out[ev.Account] = true
+					}
+				case event.ReplyToSet:
+					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
+						out[ev.Account] = true
+					}
+				case event.MassDeletion:
+					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
+						out[ev.Account] = true
+					}
+				case event.RecoveryChanged:
+					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
+						out[ev.Account] = true
+					}
+				}
+			}
+		})
+		return out
+	}
+	lockouts := has(event.KindPasswordChanged)
+	filters := has(event.KindFilterCreated)
+	replyTos := has(event.KindReplyToSet)
+	deletes := has(event.KindMassDeletion)
+	recChanges := has(event.KindRecoveryChanged)
+
+	deleteAndLock, recAndLock := 0, 0
+	for a := range lockouts {
+		if deletes[a] {
+			deleteAndLock++
+		}
+		if recChanges[a] {
+			recAndLock++
+		}
+	}
+	twoSV := 0
+	for _, e := range logstore.Select[event.TwoSVEnrolled](s) {
+		if e.Actor == event.ActorHijacker && inSet[e.Account] {
+			twoSV++
+		}
+	}
+	cases := len(accounts)
+	return Retention{
+		Cases:                      cases,
+		LockoutShare:               stats.Ratio(float64(len(lockouts)), float64(cases)),
+		FilterShare:                stats.Ratio(float64(len(filters)), float64(cases)),
+		ReplyToShare:               stats.Ratio(float64(len(replyTos)), float64(cases)),
+		MassDeleteGivenLockout:     stats.Ratio(float64(deleteAndLock), float64(len(lockouts))),
+		RecoveryChangeGivenLockout: stats.Ratio(float64(recAndLock), float64(len(lockouts))),
+		TwoSVLockouts:              twoSV,
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+)
+
+// Lifecycle is Figure 2's hijacking cycle as observed counts: credential
+// acquisition → account exploitation → remediation. Each stage counts
+// distinct accounts, so the funnel reads as survival through the cycle.
+type Lifecycle struct {
+	// Acquisition.
+	LuresDelivered      int
+	PageVisits          int
+	CredentialsCaptured int // distinct provider accounts phished
+	// Exploitation.
+	AccountsAttempted int // crews tried to log in
+	AccountsEntered   int // hijacker login succeeded
+	AccountsExploited int
+	AccountsLockedOut int
+	// Remediation.
+	ClaimsFiled       int
+	AccountsRecovered int
+}
+
+// Rates returns the per-stage survival fractions (each stage over the
+// previous), in funnel order.
+func (l Lifecycle) Rates() []stats.Entry {
+	type stage struct {
+		name string
+		num  int
+		den  int
+	}
+	stages := []stage{
+		{"visit|lure", l.PageVisits, l.LuresDelivered},
+		{"credential|visit", l.CredentialsCaptured, l.PageVisits},
+		{"attempt|credential", l.AccountsAttempted, l.CredentialsCaptured},
+		{"entry|attempt", l.AccountsEntered, l.AccountsAttempted},
+		{"exploit|entry", l.AccountsExploited, l.AccountsEntered},
+		{"lockout|exploit", l.AccountsLockedOut, l.AccountsExploited},
+		{"claim|entry", l.ClaimsFiled, l.AccountsEntered},
+		{"recovered|claim", l.AccountsRecovered, l.ClaimsFiled},
+	}
+	out := make([]stats.Entry, 0, len(stages))
+	for _, s := range stages {
+		out = append(out, stats.Entry{
+			Key:   s.name,
+			Count: s.num,
+			Share: stats.Ratio(float64(s.num), float64(s.den)),
+		})
+	}
+	return out
+}
+
+// ComputeLifecycle tallies Figure 2's cycle from the log.
+func ComputeLifecycle(s *logstore.Store) Lifecycle {
+	var l Lifecycle
+	creds := map[identity.AccountID]bool{}
+	attempted := map[identity.AccountID]bool{}
+	entered := map[identity.AccountID]bool{}
+	exploited := map[identity.AccountID]bool{}
+	locked := map[identity.AccountID]bool{}
+	claimed := map[identity.AccountID]bool{}
+	recovered := map[identity.AccountID]bool{}
+
+	s.Scan(func(e event.Event) {
+		switch ev := e.(type) {
+		case event.LureSent:
+			l.LuresDelivered++
+		case event.PageHit:
+			if ev.Method == "GET" {
+				l.PageVisits++
+			}
+		case event.CredentialPhished:
+			creds[ev.Account] = true
+		case event.Login:
+			if ev.Actor == event.ActorHijacker {
+				attempted[ev.Account] = true
+				if ev.Outcome == event.LoginSuccess {
+					entered[ev.Account] = true
+				}
+			}
+		case event.HijackAssessed:
+			if ev.Exploited {
+				exploited[ev.Account] = true
+			}
+		case event.HijackEnded:
+			if ev.LockedOut {
+				locked[ev.Account] = true
+			}
+		case event.ClaimFiled:
+			claimed[ev.Account] = true
+		case event.ClaimResolved:
+			if ev.Success {
+				recovered[ev.Account] = true
+			}
+		}
+	})
+	l.CredentialsCaptured = len(creds)
+	l.AccountsAttempted = len(attempted)
+	l.AccountsEntered = len(entered)
+	l.AccountsExploited = len(exploited)
+	l.AccountsLockedOut = len(locked)
+	l.ClaimsFiled = len(claimed)
+	l.AccountsRecovered = len(recovered)
+	return l
+}

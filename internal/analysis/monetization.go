@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"manualhijack/internal/event"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+)
+
+// Monetization is the scam funnel the whole hijack exists for: pleas sent
+// from hijacked accounts → recipients who engage → replies that actually
+// reach the criminal (via doppelganger Reply-To, forwarding filter, or
+// retained access) → completed wire transfers. §5.4 explains why account
+// retention matters to criminals: "even the shortest process may take one
+// or two days"; the funnel quantifies how each defense cuts revenue.
+type Monetization struct {
+	PleaRecipients int // scam-message recipient slots
+	Replies        int
+	ReachedCrew    int
+	Payments       int
+	Revenue        float64 // USD
+	// ReplyRoutes breaks down how replies reached (or failed to reach)
+	// the criminal.
+	ReplyRoutes []stats.Entry
+	// RevenuePerHijack normalizes by exploited-hijack count.
+	RevenuePerHijack float64
+	MeanPayment      float64
+}
+
+// ComputeMonetization tallies the scam funnel from the log.
+func ComputeMonetization(s *logstore.Store) Monetization {
+	var out Monetization
+	var routes stats.Counter
+	for _, m := range logstore.Select[event.MessageSent](s) {
+		if m.Actor == event.ActorHijacker && m.Class == event.ClassScam {
+			out.PleaRecipients += len(m.Recipients)
+		}
+	}
+	for _, r := range logstore.Select[event.ScamReply](s) {
+		out.Replies++
+		routes.Add(r.Via)
+		if r.ReachedHijacker {
+			out.ReachedCrew++
+		}
+	}
+	var payments stats.Sample
+	for _, p := range logstore.Select[event.MoneyWired](s) {
+		out.Payments++
+		out.Revenue += p.Amount
+		payments.Add(p.Amount)
+	}
+	out.ReplyRoutes = routes.Sorted()
+	out.MeanPayment = payments.Mean()
+
+	exploited := map[int32]bool{}
+	for _, h := range logstore.Select[event.HijackAssessed](s) {
+		if h.Exploited {
+			exploited[int32(h.Account)] = true
+		}
+	}
+	if len(exploited) > 0 {
+		out.RevenuePerHijack = out.Revenue / float64(len(exploited))
+	}
+	return out
+}
+
+// RevenueByCrew splits scam revenue per hijacker group.
+func RevenueByCrew(s *logstore.Store) []stats.Entry {
+	var c stats.Counter
+	for _, p := range logstore.Select[event.MoneyWired](s) {
+		crew := p.Crew
+		if crew == "" {
+			crew = "(unattributed)"
+		}
+		c.AddN(crew, int(p.Amount))
+	}
+	return c.Sorted()
+}

@@ -1,0 +1,262 @@
+// Package analysis computes every table and figure of the paper from a
+// world's event log, via the datasets of Table 1. Each function returns a
+// typed result that the report package renders and the benchmark harness
+// asserts shape properties on.
+package analysis
+
+import (
+	"time"
+
+	"manualhijack/internal/datasets"
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+)
+
+// Table2 is the phishing-target breakdown (Table 2): what account types
+// phishing emails and phishing pages solicit.
+type Table2 struct {
+	EmailShares map[event.TargetKind]float64
+	PageShares  map[event.TargetKind]float64
+	EmailN      int
+	PageN       int
+}
+
+// ComputeTable2 reproduces Table 2 from Datasets 1 and 2.
+func ComputeTable2(s *logstore.Store, sampleSize int) Table2 {
+	emails := datasets.D1PhishingEmails(s, sampleSize)
+	pages := datasets.D2PhishingPages(s, sampleSize)
+
+	var ec, pc stats.Counter
+	for _, e := range emails {
+		ec.Add(string(e.Target))
+	}
+	for _, p := range pages {
+		pc.Add(string(p.Target))
+	}
+	t := Table2{
+		EmailShares: make(map[event.TargetKind]float64),
+		PageShares:  make(map[event.TargetKind]float64),
+		EmailN:      len(emails),
+		PageN:       len(pages),
+	}
+	for _, k := range []event.TargetKind{event.TargetMail, event.TargetBank,
+		event.TargetAppStore, event.TargetSocial, event.TargetOther} {
+		t.EmailShares[k] = ec.Share(string(k))
+		t.PageShares[k] = pc.Share(string(k))
+	}
+	return t
+}
+
+// URLShare returns the fraction of curated phishing emails carrying a URL
+// (§4.1: 62 of 100).
+func URLShare(s *logstore.Store, sampleSize int) float64 {
+	emails := datasets.D1PhishingEmails(s, sampleSize)
+	withURL := 0
+	for _, e := range emails {
+		if e.HasURL {
+			withURL++
+		}
+	}
+	return stats.Ratio(float64(withURL), float64(len(emails)))
+}
+
+// Figure3 is the HTTP-referrer breakdown of phishing-page traffic.
+type Figure3 struct {
+	BlankShare float64
+	NonBlank   []stats.Entry
+	TotalGETs  int
+}
+
+// ComputeFigure3 reproduces Figure 3 from Dataset 3's HTTP logs.
+func ComputeFigure3(s *logstore.Store, samplePages int) Figure3 {
+	pages := datasets.D3FormsPages(s, samplePages)
+	var blank, total int
+	var nonBlank stats.Counter
+	for _, p := range pages {
+		for _, h := range p.Hits {
+			if h.Method != "GET" {
+				continue
+			}
+			total++
+			if h.Referrer == "" {
+				blank++
+			} else {
+				nonBlank.Add(h.Referrer)
+			}
+		}
+	}
+	return Figure3{
+		BlankShare: stats.Ratio(float64(blank), float64(total)),
+		NonBlank:   nonBlank.Sorted(),
+		TotalGETs:  total,
+	}
+}
+
+// Figure4 is the TLD breakdown of phished email addresses.
+type Figure4 struct {
+	Shares   []stats.Entry
+	EduShare float64
+	N        int
+}
+
+// ComputeFigure4 reproduces Figure 4 from Dataset 3's POST payloads.
+func ComputeFigure4(s *logstore.Store, samplePages int) Figure4 {
+	pages := datasets.D3FormsPages(s, samplePages)
+	var c stats.Counter
+	for _, p := range pages {
+		for _, h := range p.Hits {
+			if h.Method != "POST" || h.Victim == "" {
+				continue
+			}
+			if tld := identity.TLD(h.Victim); tld != "" {
+				c.Add(tld)
+			}
+		}
+	}
+	return Figure4{Shares: c.Sorted(), EduShare: c.Share("edu"), N: c.Total()}
+}
+
+// Figure5 is the per-page submission success rate (POST/GET).
+type Figure5 struct {
+	PerPage []float64
+	Mean    float64
+	Min     float64
+	Max     float64
+}
+
+// ComputeFigure5 reproduces Figure 5. Pages with fewer than minViews GET
+// requests are skipped (a rate over three views is noise).
+func ComputeFigure5(s *logstore.Store, samplePages, minViews int) Figure5 {
+	pages := datasets.D3FormsPages(s, samplePages)
+	var rates stats.Sample
+	var out Figure5
+	for _, p := range pages {
+		gets, posts := 0, 0
+		for _, h := range p.Hits {
+			switch h.Method {
+			case "GET":
+				gets++
+			case "POST":
+				posts++
+			}
+		}
+		if gets < minViews {
+			continue
+		}
+		r := float64(posts) / float64(gets)
+		out.PerPage = append(out.PerPage, r)
+		rates.Add(r)
+	}
+	out.Mean = rates.Mean()
+	out.Min = rates.Min()
+	out.Max = rates.Max()
+	return out
+}
+
+// Figure6 is the credential-submission time profile: the average hourly
+// POST volume per standard page (a decay from the blast), and the
+// high-volume outlier's own series with its quiet testing period.
+type Figure6 struct {
+	// StandardAvg is the mean POSTs per page per hour since first visit.
+	StandardAvg []float64
+	// Outlier is the hourly POST series of the single busiest page.
+	Outlier []int
+	// OutlierQuietHours is how long the busiest page sat nearly idle
+	// before its volume step.
+	OutlierQuietHours int
+	Pages             int
+}
+
+// ComputeFigure6 reproduces Figure 6 from Dataset 3.
+func ComputeFigure6(s *logstore.Store, samplePages int) Figure6 {
+	pages := datasets.D3FormsPages(s, samplePages)
+	var fig Figure6
+
+	// Identify the outlier: the page with the most submissions arriving
+	// more than 12 hours after its first visit. Standard mass-blast pages
+	// decay within hours; only the step-shaped outlier keeps sustained
+	// volume (Figure 6, bottom).
+	busiest, busiestLate := -1, 0
+	for i, p := range pages {
+		if len(p.Hits) == 0 {
+			continue
+		}
+		first := p.Hits[0].When()
+		late := 0
+		for _, h := range p.Hits {
+			if h.Method == "POST" && h.When().Sub(first) > 12*time.Hour {
+				late++
+			}
+		}
+		if late > busiestLate {
+			busiest, busiestLate = i, late
+		}
+	}
+
+	var sums []float64
+	counts := 0
+	for i, p := range pages {
+		if len(p.Hits) == 0 {
+			continue
+		}
+		first := p.Hits[0].When()
+		series := stats.NewTimeSeries(first, time.Hour)
+		for _, h := range p.Hits {
+			if h.Method == "POST" {
+				series.Observe(h.When())
+			}
+		}
+		if i == busiest {
+			fig.Outlier = series.Counts()
+			fig.OutlierQuietHours = quietHours(series.Counts())
+			continue
+		}
+		counts++
+		for j, c := range series.Counts() {
+			for len(sums) <= j {
+				sums = append(sums, 0)
+			}
+			sums[j] += float64(c)
+		}
+	}
+	if counts > 0 {
+		for _, sum := range sums {
+			fig.StandardAvg = append(fig.StandardAvg, sum/float64(counts))
+		}
+	}
+	fig.Pages = len(pages)
+	return fig
+}
+
+// quietHours counts leading buckets before the series reaches 20% of its
+// peak — the outlier's pre-launch testing period.
+func quietHours(counts []int) int {
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return len(counts)
+	}
+	threshold := peak / 5
+	for i, c := range counts {
+		if c > threshold {
+			return i
+		}
+	}
+	return len(counts)
+}
+
+// SafeBrowsingWeekly returns detected phishing pages per week (§3 reports
+// 16,000–25,000/week at Google scale; the sim reports its own scale).
+func SafeBrowsingWeekly(s *logstore.Store, start time.Time) []int {
+	series := stats.NewTimeSeries(start, 7*24*time.Hour)
+	for _, d := range logstore.Select[event.PageDetected](s) {
+		series.Observe(d.When())
+	}
+	return series.Counts()
+}

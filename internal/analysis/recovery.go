@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"time"
+
+	"manualhijack/internal/datasets"
+	"manualhijack/internal/event"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/stats"
+)
+
+// Figure9 is the recovery-latency distribution (Dataset 11): time from
+// the system flagging the hijack to the owner regaining exclusive control.
+type Figure9 struct {
+	Recoveries   int
+	Within1Hour  float64       // paper: 22%
+	Within13Hour float64       // paper: 50%
+	Latencies    *stats.Sample // hours
+}
+
+// ComputeFigure9 reproduces Figure 9.
+func ComputeFigure9(s *logstore.Store, sampleSize int) Figure9 {
+	recovered := datasets.D11RecoveredAccounts(s, sampleSize)
+	fig := Figure9{Latencies: &stats.Sample{}}
+	for _, r := range recovered {
+		if r.FlaggedAt.IsZero() {
+			continue
+		}
+		lat := r.When().Sub(r.FlaggedAt)
+		if lat < 0 {
+			continue
+		}
+		fig.Recoveries++
+		fig.Latencies.Add(lat.Hours())
+	}
+	if fig.Recoveries > 0 {
+		fig.Within1Hour = fig.Latencies.FracBelow(1)
+		fig.Within13Hour = fig.Latencies.FracBelow(13)
+	}
+	return fig
+}
+
+// MethodStats is one row of Figure 10.
+type MethodStats struct {
+	Attempts  int
+	Successes int
+	Rate      float64
+}
+
+// Figure10 is the per-method recovery success rate (Dataset 12).
+type Figure10 struct {
+	Methods map[event.RecoveryMethod]MethodStats
+}
+
+// ComputeFigure10 reproduces Figure 10 over the claim attempts in
+// [from, to) — the paper used a full month of claims.
+func ComputeFigure10(s *logstore.Store, from, to time.Time) Figure10 {
+	fig := Figure10{Methods: map[event.RecoveryMethod]MethodStats{}}
+	for _, a := range datasets.D12ClaimAttempts(s, from, to) {
+		m := fig.Methods[a.Method]
+		m.Attempts++
+		if a.Success {
+			m.Successes++
+		}
+		m.Rate = stats.Ratio(float64(m.Successes), float64(m.Attempts))
+		fig.Methods[a.Method] = m
+	}
+	return fig
+}
+
+// RecoveryChannels summarizes §6.3's channel-reliability estimates.
+type RecoveryChannels struct {
+	// RecycledShare is the fraction of on-file secondary emails that were
+	// recycled by their upstream provider (paper: ~7%).
+	RecycledShare float64
+	// BounceShare is the fraction of email verification attempts that
+	// bounced (paper: ~5%).
+	BounceShare float64
+	// EmailOfferedShare is how often email was offered among claims from
+	// accounts with a secondary on file (recycled ones are withheld).
+	EmailAttempts int
+}
+
+// ComputeRecoveryChannels reproduces the §6.3 reliability estimates from
+// the claim-attempt log and the population.
+func ComputeRecoveryChannels(s *logstore.Store, secondaryTotal, secondaryRecycled int) RecoveryChannels {
+	out := RecoveryChannels{
+		RecycledShare: stats.Ratio(float64(secondaryRecycled), float64(secondaryTotal)),
+	}
+	bounces := 0
+	for _, a := range logstore.Select[event.ClaimAttempt](s) {
+		if a.Method != event.MethodEmail {
+			continue
+		}
+		out.EmailAttempts++
+		if !a.Success && a.Reason == "bounce" {
+			bounces++
+		}
+	}
+	out.BounceShare = stats.Ratio(float64(bounces), float64(out.EmailAttempts))
+	return out
+}
+
+// RemissionStats summarizes §6.4/§5.4: how often recovery restored
+// hijacker-deleted content and cleared hijacker settings.
+type RemissionStats struct {
+	Remissions       int
+	WithRestore      int
+	WithSettingClear int
+}
+
+// ComputeRemission tallies remission outcomes.
+func ComputeRemission(s *logstore.Store) RemissionStats {
+	var out RemissionStats
+	for _, r := range logstore.Select[event.Remission](s) {
+		out.Remissions++
+		if r.RestoredMessages > 0 {
+			out.WithRestore++
+		}
+		if r.ClearedSettings {
+			out.WithSettingClear++
+		}
+	}
+	return out
+}
+
+// RecoveryFraud summarizes §6.3's impostor risk: hijackers filing
+// fraudulent claims on accounts whose phished passwords went stale.
+type RecoveryFraud struct {
+	Attempts  int
+	Successes int
+	Rate      float64
+}
+
+// ComputeRecoveryFraud tallies impostor claims from the log.
+func ComputeRecoveryFraud(s *logstore.Store) RecoveryFraud {
+	var out RecoveryFraud
+	for _, r := range logstore.Select[event.ClaimResolved](s) {
+		if r.Actor != event.ActorHijacker {
+			continue
+		}
+		out.Attempts++
+		if r.Success {
+			out.Successes++
+		}
+	}
+	out.Rate = stats.Ratio(float64(out.Successes), float64(out.Attempts))
+	return out
+}

@@ -1,0 +1,356 @@
+// Package auth implements the provider's login service: password
+// verification, 2-step verification, login-time risk analysis with
+// challenge escalation, session issuance, account settings changes, and
+// proactive user notifications on critical events.
+//
+// The login path is the paper's main defensive chokepoint: "login time
+// risk analysis ... stops the hijacker before getting into the account"
+// (§8.2). Every attempt — successful or not — is logged, because several
+// datasets (5, 13) are computed from login logs.
+package auth
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/risk"
+	"manualhijack/internal/simtime"
+)
+
+// Config tunes the login defense.
+type Config struct {
+	// RiskEnabled turns login-time risk analysis on.
+	RiskEnabled bool
+	// ChallengeThreshold and BlockThreshold are risk-score cutoffs. Scores
+	// in [ChallengeThreshold, BlockThreshold) trigger a login challenge;
+	// scores at or above BlockThreshold are refused outright.
+	ChallengeThreshold float64
+	BlockThreshold     float64
+	// NotificationsEnabled sends out-of-band notifications on critical
+	// events (settings changes, blocked logins) — §8.2's "essential tool".
+	NotificationsEnabled bool
+}
+
+// DefaultConfig returns the defense configuration the study runs with.
+// The thresholds are deliberately permissive: the paper observes that
+// manual hijackers blend in with organic traffic (§5.1) and that
+// aggressive thresholds inconvenience legitimate users (§8.1), so the
+// operating point admits a share of hijackers — which is precisely what
+// makes the downstream exploitation measurable.
+func DefaultConfig() Config {
+	return Config{
+		RiskEnabled:          true,
+		ChallengeThreshold:   0.62,
+		BlockThreshold:       0.90,
+		NotificationsEnabled: true,
+	}
+}
+
+// Notifier receives notification callbacks so victim agents can react
+// (file a claim). The auth service logs the NotificationSent event itself;
+// the notifier only schedules agent behavior.
+type Notifier interface {
+	Notified(acct identity.AccountID, reason string)
+}
+
+// Service is the authentication system.
+type Service struct {
+	dir        *identity.Directory
+	clock      *simtime.Clock
+	log        *logstore.Store
+	analyzer   *risk.Analyzer
+	challenger *challenge.Challenger
+	cfg        Config
+	notifier   Notifier
+
+	sessionHook func(acct identity.AccountID, sess event.SessionID, at time.Time)
+	nextSession event.SessionID
+}
+
+// NewService assembles the login service. analyzer may be nil when
+// cfg.RiskEnabled is false.
+func NewService(
+	dir *identity.Directory,
+	clock *simtime.Clock,
+	log *logstore.Store,
+	analyzer *risk.Analyzer,
+	challenger *challenge.Challenger,
+	cfg Config,
+) *Service {
+	if cfg.RiskEnabled && analyzer == nil {
+		panic("auth: risk enabled without analyzer")
+	}
+	return &Service{
+		dir: dir, clock: clock, log: log,
+		analyzer: analyzer, challenger: challenger, cfg: cfg,
+	}
+}
+
+// SetNotifier installs the notification callback (wired by the world
+// assembler; optional).
+func (s *Service) SetNotifier(n Notifier) { s.notifier = n }
+
+// SetSessionHook installs a callback fired on every successful login —
+// the live feed for online behavioral risk analysis.
+func (s *Service) SetSessionHook(fn func(acct identity.AccountID, sess event.SessionID, at time.Time)) {
+	s.sessionHook = fn
+}
+
+// Analyzer exposes the risk analyzer (for priming histories).
+func (s *Service) Analyzer() *risk.Analyzer { return s.analyzer }
+
+// LoginReq is one login attempt.
+type LoginReq struct {
+	Account   identity.AccountID
+	Password  string
+	IP        netip.Addr
+	DeviceID  string
+	Principal challenge.Principal
+	Actor     event.Actor
+}
+
+// LoginResult is the decision for one attempt.
+type LoginResult struct {
+	Outcome    event.LoginOutcome
+	Session    event.SessionID // non-zero iff Outcome == LoginSuccess
+	RiskScore  float64
+	Challenged bool
+}
+
+// Login processes one attempt end to end: password check, 2-step
+// verification, risk scoring, challenge escalation, session issuance, and
+// logging.
+func (s *Service) Login(req LoginReq) LoginResult {
+	acct := s.dir.Get(req.Account)
+	now := s.clock.Now()
+	res := LoginResult{Outcome: event.LoginBlocked}
+	att := risk.Attempt{
+		Account: req.Account, IP: req.IP, DeviceID: req.DeviceID, At: now,
+	}
+
+	switch {
+	case acct == nil:
+		res.Outcome = event.LoginWrongPassword
+	case acct.DisabledByAnti:
+		res.Outcome = event.LoginBlocked
+	case acct.HasAppPassword(req.Password):
+		// Application-specific passwords serve legacy clients that cannot
+		// complete a challenge or a second factor — so they bypass both,
+		// which is exactly the §8.2 weakness. Risk is still scored (for
+		// the log) but cannot gate the login.
+		att.PasswordOK = true
+		if s.analyzer != nil {
+			res.RiskScore = s.analyzer.Score(att)
+			s.analyzer.RecordOutcome(att, true)
+		}
+		s.nextSession++
+		res.Session = s.nextSession
+		res.Outcome = event.LoginSuccess
+		acct.LastActive = now
+		if s.sessionHook != nil {
+			s.sessionHook(acct.ID, res.Session, now)
+		}
+	case acct.Password != req.Password:
+		res.Outcome = event.LoginWrongPassword
+		att.PasswordOK = false
+		if s.analyzer != nil {
+			res.RiskScore = s.analyzer.Score(att)
+			s.analyzer.RecordOutcome(att, false)
+		}
+	default:
+		att.PasswordOK = true
+		res = s.admit(acct, req, att)
+	}
+
+	s.log.Append(event.Login{
+		Base:       event.Base{Time: now},
+		Account:    req.Account,
+		IP:         req.IP,
+		DeviceID:   req.DeviceID,
+		PasswordOK: att.PasswordOK,
+		Outcome:    res.Outcome,
+		Challenged: res.Challenged,
+		RiskScore:  res.RiskScore,
+		Session:    res.Session,
+		Actor:      req.Actor,
+	})
+	if res.Outcome == event.LoginBlocked || res.Outcome == event.LoginChallengeFailed {
+		s.notify(acct, "suspicious_login")
+	}
+	return res
+}
+
+// admit runs the post-password stages for a correct-password attempt.
+func (s *Service) admit(acct *identity.Account, req LoginReq, att risk.Attempt) LoginResult {
+	res := LoginResult{}
+	if s.analyzer != nil {
+		res.RiskScore = s.analyzer.Score(att)
+	}
+
+	// 2-step verification gates every login regardless of risk score.
+	if acct.TwoSV {
+		res.Challenged = true
+		if !req.Principal.CanReceive(acct.TwoSVPhone) {
+			res.Outcome = event.LoginChallengeFailed
+			if s.analyzer != nil {
+				s.analyzer.RecordOutcome(att, false)
+			}
+			return res
+		}
+	}
+
+	if s.cfg.RiskEnabled && !acct.TwoSV {
+		switch {
+		case res.RiskScore >= s.cfg.BlockThreshold:
+			res.Outcome = event.LoginBlocked
+			s.analyzer.RecordOutcome(att, false)
+			return res
+		case res.RiskScore >= s.cfg.ChallengeThreshold:
+			res.Challenged = true
+			cr := s.challenger.Run(acct, req.Principal)
+			if !cr.Passed {
+				res.Outcome = event.LoginChallengeFailed
+				s.analyzer.RecordOutcome(att, false)
+				return res
+			}
+		}
+	}
+
+	s.nextSession++
+	res.Session = s.nextSession
+	res.Outcome = event.LoginSuccess
+	acct.LastActive = s.clock.Now()
+	if s.analyzer != nil {
+		s.analyzer.RecordOutcome(att, true)
+	}
+	if s.sessionHook != nil {
+		s.sessionHook(acct.ID, res.Session, s.clock.Now())
+	}
+	return res
+}
+
+// ChangePassword sets a new password and notifies the owner out of band.
+func (s *Service) ChangePassword(id identity.AccountID, newPassword string, sess event.SessionID, actor event.Actor) {
+	acct := s.dir.Get(id)
+	if acct == nil {
+		return
+	}
+	acct.Password = newPassword
+	acct.PasswordSetAt = s.clock.Now()
+	s.log.Append(event.PasswordChanged{
+		Base: event.Base{Time: s.clock.Now()}, Account: id, Session: sess, Actor: actor,
+	})
+	s.notify(acct, "password_change")
+}
+
+// ChangeRecovery replaces a recovery option ("phone", "email", or
+// "question") and notifies the owner.
+func (s *Service) ChangeRecovery(id identity.AccountID, what string, phone geo.Phone, email identity.Address, sess event.SessionID, actor event.Actor) {
+	acct := s.dir.Get(id)
+	if acct == nil {
+		return
+	}
+	switch what {
+	case "phone":
+		acct.Phone = phone
+	case "email":
+		acct.SecondaryEmail = email
+		acct.SecondaryRecycled = false
+		acct.SecondaryTypo = false
+	case "question":
+		acct.SecretQuestion = true
+	default:
+		panic(fmt.Sprintf("auth: unknown recovery option %q", what))
+	}
+	s.log.Append(event.RecoveryChanged{
+		Base: event.Base{Time: s.clock.Now()}, Account: id, What: what,
+		Session: sess, Actor: actor,
+	})
+	s.notify(acct, "recovery_change")
+}
+
+// Enroll2SV turns on 2-step verification with the given phone. When a
+// hijacker does this with their own phone it locks the owner out — the
+// short-lived 2012 retention tactic behind Figure 12.
+func (s *Service) Enroll2SV(id identity.AccountID, phone geo.Phone, sess event.SessionID, actor event.Actor) {
+	acct := s.dir.Get(id)
+	if acct == nil {
+		return
+	}
+	acct.TwoSV = true
+	acct.TwoSVPhone = phone
+	acct.LockedByPhone = actor == event.ActorHijacker
+	s.log.Append(event.TwoSVEnrolled{
+		Base: event.Base{Time: s.clock.Now()}, Account: id, Phone: phone,
+		Session: sess, Actor: actor,
+	})
+	s.notify(acct, "twosv_enrolled")
+}
+
+// CreateAppPassword issues an application-specific password for a legacy
+// client and returns it.
+func (s *Service) CreateAppPassword(id identity.AccountID) string {
+	acct := s.dir.Get(id)
+	if acct == nil {
+		return ""
+	}
+	pw := fmt.Sprintf("app-%d-%04d", id, len(acct.AppPasswords))
+	acct.AppPasswords = append(acct.AppPasswords, pw)
+	return pw
+}
+
+// ResetForRecovery restores owner control after a successful recovery
+// claim: new password, hijacker 2SV cleared, app passwords revoked,
+// anti-abuse hold lifted.
+func (s *Service) ResetForRecovery(id identity.AccountID, newPassword string) {
+	acct := s.dir.Get(id)
+	if acct == nil {
+		return
+	}
+	acct.Password = newPassword
+	acct.PasswordSetAt = s.clock.Now()
+	acct.DisabledByAnti = false
+	acct.AppPasswords = nil
+	if acct.LockedByPhone {
+		acct.TwoSV = false
+		acct.TwoSVPhone = ""
+		acct.LockedByPhone = false
+	}
+}
+
+// Suspend disables an account pending recovery (anti-abuse action).
+func (s *Service) Suspend(id identity.AccountID) {
+	if acct := s.dir.Get(id); acct != nil {
+		acct.DisabledByAnti = true
+	}
+}
+
+// notify emits an out-of-band notification over the best available
+// channel, if notifications are enabled and a channel exists.
+func (s *Service) notify(acct *identity.Account, reason string) {
+	if !s.cfg.NotificationsEnabled || acct == nil {
+		return
+	}
+	var ch event.NotificationChannel
+	switch {
+	case acct.Phone != "":
+		ch = event.ChannelSMS
+	case acct.SecondaryEmail != "" && !acct.SecondaryRecycled && !acct.SecondaryTypo:
+		ch = event.ChannelEmail
+	default:
+		return
+	}
+	s.log.Append(event.NotificationSent{
+		Base: event.Base{Time: s.clock.Now()}, Account: acct.ID,
+		Channel: ch, Reason: reason,
+	})
+	if s.notifier != nil {
+		s.notifier.Notified(acct.ID, reason)
+	}
+}

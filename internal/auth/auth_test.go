@@ -1,0 +1,379 @@
+package auth
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/risk"
+	"manualhijack/internal/simtime"
+)
+
+type fixture struct {
+	dir   *identity.Directory
+	clock *simtime.Clock
+	log   *logstore.Store
+	plan  *geo.IPPlan
+	svc   *Service
+	rng   *randx.Rand
+}
+
+func newFixture(t *testing.T, seed int64, cfg Config) *fixture {
+	t.Helper()
+	clock := simtime.NewClock(simtime.Epoch)
+	idCfg := identity.DefaultConfig(simtime.Epoch)
+	idCfg.N = 50
+	rng := randx.New(seed)
+	dir := identity.NewDirectory(rng, idCfg)
+	log := logstore.New()
+	plan := geo.NewIPPlan(4)
+	analyzer := risk.NewAnalyzer(plan, risk.DefaultWeights())
+	ch := challenge.New(challenge.DefaultConfig(), rng.Fork("challenge"))
+	svc := NewService(dir, clock, log, analyzer, ch, cfg)
+	// Prime every account's history with its home country and a device.
+	dir.All(func(a *identity.Account) {
+		analyzer.PrimeAccount(a.ID, a.HomeCountry, deviceOf(a.ID))
+	})
+	return &fixture{dir: dir, clock: clock, log: log, plan: plan, svc: svc, rng: rng}
+}
+
+func deviceOf(id identity.AccountID) string { return "dev-" + string(rune('A'+id%26)) }
+
+func ownerPrincipal(a *identity.Account) challenge.Principal {
+	var phones []geo.Phone
+	if a.Phone != "" {
+		phones = append(phones, a.Phone)
+	}
+	return challenge.Principal{Phones: phones, KnowledgeSkill: 0.85}
+}
+
+func (f *fixture) ownerLogin(a *identity.Account) LoginResult {
+	return f.svc.Login(LoginReq{
+		Account: a.ID, Password: a.Password,
+		IP:        f.plan.Addr(f.rng, a.HomeCountry),
+		DeviceID:  deviceOf(a.ID),
+		Principal: ownerPrincipal(a),
+		Actor:     event.ActorOwner,
+	})
+}
+
+func (f *fixture) hijackerLogin(a *identity.Account, from geo.Country) LoginResult {
+	return f.svc.Login(LoginReq{
+		Account: a.ID, Password: a.Password,
+		IP:        f.plan.Addr(f.rng, from),
+		DeviceID:  "hijack-box",
+		Principal: challenge.Principal{KnowledgeSkill: 0.2},
+		Actor:     event.ActorHijacker,
+	})
+}
+
+func TestOwnerHomeLoginSucceeds(t *testing.T) {
+	f := newFixture(t, 1, DefaultConfig())
+	a := f.dir.Get(1)
+	res := f.ownerLogin(a)
+	if res.Outcome != event.LoginSuccess || res.Session == 0 {
+		t.Fatalf("owner login = %+v", res)
+	}
+	if res.Challenged {
+		t.Fatal("routine owner login should not be challenged")
+	}
+}
+
+func TestWrongPassword(t *testing.T) {
+	f := newFixture(t, 2, DefaultConfig())
+	a := f.dir.Get(1)
+	res := f.svc.Login(LoginReq{Account: a.ID, Password: "nope", IP: f.plan.Addr(f.rng, a.HomeCountry), Actor: event.ActorOwner})
+	if res.Outcome != event.LoginWrongPassword || res.Session != 0 {
+		t.Fatalf("wrong password = %+v", res)
+	}
+	logins := logstore.Select[event.Login](f.log)
+	if len(logins) != 1 || logins[0].PasswordOK {
+		t.Fatalf("login log = %+v", logins)
+	}
+}
+
+func TestUnknownAccount(t *testing.T) {
+	f := newFixture(t, 3, DefaultConfig())
+	res := f.svc.Login(LoginReq{Account: 9999, Password: "x", Actor: event.ActorOwner})
+	if res.Outcome != event.LoginWrongPassword {
+		t.Fatalf("unknown account = %+v", res)
+	}
+}
+
+func TestHijackerChallengedWithPhoneFails(t *testing.T) {
+	// Force an aggressive threshold so the foreign login is challenged.
+	cfg := DefaultConfig()
+	cfg.ChallengeThreshold = 0.3
+	f := newFixture(t, 4, cfg)
+	// Find an account with a phone on file.
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" && x.HomeCountry != geo.Nigeria {
+			a = x
+		}
+	})
+	res := f.hijackerLogin(a, geo.Nigeria)
+	if res.Outcome != event.LoginChallengeFailed {
+		t.Fatalf("hijacker vs SMS challenge = %+v (score %.2f)", res, res.RiskScore)
+	}
+	if !res.Challenged {
+		t.Fatal("challenge flag not set")
+	}
+}
+
+func TestPermissiveThresholdAdmitsHijacker(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeThreshold = 0.99
+	cfg.BlockThreshold = 1.1
+	f := newFixture(t, 5, cfg)
+	a := f.dir.Get(1)
+	res := f.hijackerLogin(a, geo.China)
+	if res.Outcome != event.LoginSuccess {
+		t.Fatalf("hijacker with permissive threshold = %+v", res)
+	}
+	if res.RiskScore < 0.4 {
+		t.Fatalf("hijacker-shaped score = %.2f, want elevated", res.RiskScore)
+	}
+}
+
+func TestBlockThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeThreshold = 0.1
+	cfg.BlockThreshold = 0.2
+	f := newFixture(t, 6, cfg)
+	a := f.dir.Get(1)
+	res := f.hijackerLogin(a, geo.China)
+	if res.Outcome != event.LoginBlocked {
+		t.Fatalf("block threshold = %+v", res)
+	}
+}
+
+func TestRiskDisabled(t *testing.T) {
+	cfg := Config{RiskEnabled: false}
+	clock := simtime.NewClock(simtime.Epoch)
+	idCfg := identity.DefaultConfig(simtime.Epoch)
+	idCfg.N = 5
+	rng := randx.New(7)
+	dir := identity.NewDirectory(rng, idCfg)
+	svc := NewService(dir, clock, logstore.New(), nil, nil, cfg)
+	a := dir.Get(1)
+	plan := geo.NewIPPlan(2)
+	res := svc.Login(LoginReq{Account: a.ID, Password: a.Password, IP: plan.Addr(rng, geo.China), Actor: event.ActorHijacker})
+	if res.Outcome != event.LoginSuccess {
+		t.Fatalf("risk-disabled login = %+v", res)
+	}
+}
+
+func TestRiskEnabledWithoutAnalyzerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewService(nil, nil, nil, nil, nil, Config{RiskEnabled: true})
+}
+
+func TestTwoSVGatesHijacker(t *testing.T) {
+	f := newFixture(t, 8, DefaultConfig())
+	a := f.dir.Get(1)
+	f.svc.Enroll2SV(a.ID, "+15550001111", 1, event.ActorOwner)
+	res := f.hijackerLogin(a, geo.Malaysia)
+	if res.Outcome != event.LoginChallengeFailed {
+		t.Fatalf("2SV vs hijacker = %+v", res)
+	}
+	// The owner with the phone passes.
+	res = f.svc.Login(LoginReq{
+		Account: a.ID, Password: a.Password,
+		IP: f.plan.Addr(f.rng, a.HomeCountry), DeviceID: deviceOf(a.ID),
+		Principal: challenge.Principal{Phones: []geo.Phone{"+15550001111"}},
+		Actor:     event.ActorOwner,
+	})
+	if res.Outcome != event.LoginSuccess || !res.Challenged {
+		t.Fatalf("2SV owner = %+v", res)
+	}
+}
+
+func TestHijackerTwoSVLockout(t *testing.T) {
+	f := newFixture(t, 9, DefaultConfig())
+	a := f.dir.Get(1)
+	crewPhone := geo.NewPhone(f.rng, geo.Nigeria)
+	f.svc.Enroll2SV(a.ID, crewPhone, 1, event.ActorHijacker)
+	if !a.LockedByPhone {
+		t.Fatal("hijacker 2SV should mark LockedByPhone")
+	}
+	// Owner locked out.
+	if res := f.ownerLogin(a); res.Outcome != event.LoginChallengeFailed {
+		t.Fatalf("locked-out owner = %+v", res)
+	}
+	// Recovery reset clears the lockout.
+	f.svc.ResetForRecovery(a.ID, "new-password")
+	a2 := f.dir.Get(1)
+	if a2.TwoSV || a2.LockedByPhone {
+		t.Fatal("2SV lockout survived recovery reset")
+	}
+	res := f.svc.Login(LoginReq{
+		Account: a.ID, Password: "new-password",
+		IP: f.plan.Addr(f.rng, a.HomeCountry), DeviceID: deviceOf(a.ID),
+		Principal: ownerPrincipal(a), Actor: event.ActorOwner,
+	})
+	if res.Outcome != event.LoginSuccess {
+		t.Fatalf("post-recovery owner login = %+v", res)
+	}
+}
+
+func TestSuspendBlocks(t *testing.T) {
+	f := newFixture(t, 10, DefaultConfig())
+	a := f.dir.Get(1)
+	f.svc.Suspend(a.ID)
+	if res := f.ownerLogin(a); res.Outcome != event.LoginBlocked {
+		t.Fatalf("suspended login = %+v", res)
+	}
+	f.svc.ResetForRecovery(a.ID, a.Password)
+	if res := f.ownerLogin(a); res.Outcome != event.LoginSuccess {
+		t.Fatalf("post-reset login = %+v", res)
+	}
+}
+
+func TestSettingsChangesLogAndNotify(t *testing.T) {
+	f := newFixture(t, 11, DefaultConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	f.svc.ChangePassword(a.ID, "hijacked", 7, event.ActorHijacker)
+	if a.Password != "hijacked" {
+		t.Fatal("password not changed")
+	}
+	f.svc.ChangeRecovery(a.ID, "email", "", "evil@doppel.test", 7, event.ActorHijacker)
+	if a.SecondaryEmail != "evil@doppel.test" {
+		t.Fatal("recovery email not changed")
+	}
+
+	if n := len(logstore.Select[event.PasswordChanged](f.log)); n != 1 {
+		t.Fatalf("password events = %d", n)
+	}
+	if n := len(logstore.Select[event.RecoveryChanged](f.log)); n != 1 {
+		t.Fatalf("recovery events = %d", n)
+	}
+	notes := logstore.Select[event.NotificationSent](f.log)
+	if len(notes) != 2 {
+		t.Fatalf("notifications = %d, want 2 (password + recovery)", len(notes))
+	}
+	if notes[0].Channel != event.ChannelSMS {
+		t.Fatalf("channel = %s, want sms when phone on file", notes[0].Channel)
+	}
+}
+
+func TestNotifierCallback(t *testing.T) {
+	f := newFixture(t, 12, DefaultConfig())
+	var got []string
+	f.svc.SetNotifier(notifierFunc(func(id identity.AccountID, reason string) {
+		got = append(got, reason)
+	}))
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	f.svc.ChangePassword(a.ID, "x", 1, event.ActorHijacker)
+	if len(got) != 1 || got[0] != "password_change" {
+		t.Fatalf("notifier calls = %v", got)
+	}
+}
+
+type notifierFunc func(identity.AccountID, string)
+
+func (f notifierFunc) Notified(id identity.AccountID, reason string) { f(id, reason) }
+
+func TestNotificationsDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NotificationsEnabled = false
+	f := newFixture(t, 13, cfg)
+	a := f.dir.Get(1)
+	f.svc.ChangePassword(a.ID, "x", 1, event.ActorHijacker)
+	if n := len(logstore.Select[event.NotificationSent](f.log)); n != 0 {
+		t.Fatalf("notifications sent while disabled: %d", n)
+	}
+}
+
+func TestNoChannelNoNotification(t *testing.T) {
+	f := newFixture(t, 14, DefaultConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone == "" && x.SecondaryEmail == "" {
+			a = x
+		}
+	})
+	if a == nil {
+		t.Skip("no channel-less account in fixture")
+	}
+	f.svc.ChangePassword(a.ID, "x", 1, event.ActorHijacker)
+	if n := len(logstore.Select[event.NotificationSent](f.log)); n != 0 {
+		t.Fatalf("notification sent without a channel: %d", n)
+	}
+}
+
+func TestSessionIDsMonotonic(t *testing.T) {
+	f := newFixture(t, 15, DefaultConfig())
+	var last event.SessionID
+	for i := 1; i <= 5; i++ {
+		a := f.dir.Get(identity.AccountID(i))
+		res := f.ownerLogin(a)
+		if res.Outcome != event.LoginSuccess {
+			continue
+		}
+		if res.Session <= last {
+			t.Fatalf("session IDs not monotonic: %d after %d", res.Session, last)
+		}
+		last = res.Session
+		f.clock.Advance(time.Minute)
+	}
+	if last == 0 {
+		t.Fatal("no successful logins in fixture")
+	}
+}
+
+func TestAppPasswordBypasses2SV(t *testing.T) {
+	f := newFixture(t, 16, DefaultConfig())
+	a := f.dir.Get(1)
+	f.svc.Enroll2SV(a.ID, "+15550001111", 1, event.ActorOwner)
+	appPw := f.svc.CreateAppPassword(a.ID)
+	if appPw == "" {
+		t.Fatal("no app password issued")
+	}
+	// A hijacker who phished the app password gets in despite 2SV and a
+	// foreign, challenge-worthy login — the §8.2 weakness.
+	res := f.svc.Login(LoginReq{
+		Account: a.ID, Password: appPw,
+		IP: f.plan.Addr(f.rng, geo.Nigeria), DeviceID: "hijack-box",
+		Principal: challenge.Principal{KnowledgeSkill: 0.2},
+		Actor:     event.ActorHijacker,
+	})
+	if res.Outcome != event.LoginSuccess {
+		t.Fatalf("app-password login = %+v, want success (bypass)", res)
+	}
+	if res.Challenged {
+		t.Fatal("legacy clients cannot be challenged")
+	}
+	// Recovery revokes app passwords.
+	f.svc.ResetForRecovery(a.ID, "fresh")
+	res = f.svc.Login(LoginReq{Account: a.ID, Password: appPw, IP: f.plan.Addr(f.rng, geo.Nigeria), Actor: event.ActorHijacker})
+	if res.Outcome != event.LoginWrongPassword {
+		t.Fatalf("revoked app password still works: %+v", res)
+	}
+}
+
+func TestAppPasswordUnknownAccount(t *testing.T) {
+	f := newFixture(t, 17, DefaultConfig())
+	if pw := f.svc.CreateAppPassword(9999); pw != "" {
+		t.Fatal("app password for unknown account")
+	}
+}

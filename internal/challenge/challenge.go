@@ -1,0 +1,97 @@
+// Package challenge implements the login challenge (§8.2): when risk
+// analysis deems a login suspicious, the principal must prove ownership
+// before entering the account. The provider prefers proof of phone
+// possession (SMS code) over knowledge questions, because a hijacker "may
+// just guess [answers] by researching the user's background" while phone
+// possession is hard to fake.
+package challenge
+
+import (
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/randx"
+)
+
+// Method is a challenge type.
+type Method string
+
+// Challenge methods.
+const (
+	MethodSMS       Method = "sms"
+	MethodKnowledge Method = "knowledge"
+	MethodNone      Method = "none" // no challenge available → admit
+)
+
+// Principal models who is attempting the login, with the capabilities that
+// decide challenge outcomes. It carries no identity — only capabilities —
+// so the challenger cannot cheat by reading ground truth.
+type Principal struct {
+	// Phones the principal can receive SMS on.
+	Phones []geo.Phone
+	// KnowledgeSkill is the probability of answering the account's secret
+	// question: high for owners (imperfect recall), low-but-nonzero for
+	// hijackers (guessable answers, per Schechter et al.).
+	KnowledgeSkill float64
+}
+
+// CanReceive reports whether the principal controls the given phone.
+func (p Principal) CanReceive(phone geo.Phone) bool {
+	for _, ph := range p.Phones {
+		if ph == phone {
+			return true
+		}
+	}
+	return false
+}
+
+// Config tunes the challenge flows.
+type Config struct {
+	// SMSGatewayReliability is the chance an SMS code arrives (the paper
+	// traces SMS failures to unreliable gateways in some countries).
+	SMSGatewayReliability float64
+	// OwnerSMSCompletion is the chance a principal who received the code
+	// types it correctly.
+	OwnerSMSCompletion float64
+}
+
+// DefaultConfig returns production-tuned challenge parameters.
+func DefaultConfig() Config {
+	return Config{
+		SMSGatewayReliability: 0.96,
+		OwnerSMSCompletion:    0.98,
+	}
+}
+
+// Challenger runs login challenges.
+type Challenger struct {
+	cfg Config
+	rng *randx.Rand
+}
+
+// New returns a challenger with its own random stream.
+func New(cfg Config, rng *randx.Rand) *Challenger {
+	return &Challenger{cfg: cfg, rng: rng}
+}
+
+// Result is the outcome of one challenge.
+type Result struct {
+	Method Method
+	Passed bool
+}
+
+// Run challenges the principal for the account. Preference order: SMS to
+// the enrolled phone, then knowledge questions, then (no options on file)
+// admit — the paper notes the provider cannot challenge what it cannot
+// verify, which is why it pushes users to register a phone.
+func (c *Challenger) Run(acct *identity.Account, p Principal) Result {
+	if acct.Phone != "" {
+		passed := p.CanReceive(acct.Phone) &&
+			c.rng.Bool(c.cfg.SMSGatewayReliability) &&
+			c.rng.Bool(c.cfg.OwnerSMSCompletion)
+		return Result{Method: MethodSMS, Passed: passed}
+	}
+	if acct.SecretQuestion {
+		return Result{Method: MethodKnowledge, Passed: c.rng.Bool(p.KnowledgeSkill)}
+	}
+	return Result{Method: MethodNone, Passed: true}
+}

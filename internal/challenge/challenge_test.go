@@ -1,0 +1,88 @@
+package challenge
+
+import (
+	"testing"
+
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/randx"
+)
+
+func newChallenger(seed int64) *Challenger {
+	return New(DefaultConfig(), randx.New(seed))
+}
+
+func TestSMSPreferredWhenPhoneOnFile(t *testing.T) {
+	c := newChallenger(1)
+	acct := &identity.Account{Phone: "+15550001111", SecretQuestion: true}
+	res := c.Run(acct, Principal{Phones: []geo.Phone{"+15550001111"}})
+	if res.Method != MethodSMS {
+		t.Fatalf("method = %s, want sms even when a question exists", res.Method)
+	}
+}
+
+func TestOwnerPassesSMSMostly(t *testing.T) {
+	c := newChallenger(2)
+	acct := &identity.Account{Phone: "+15550001111"}
+	owner := Principal{Phones: []geo.Phone{"+15550001111"}, KnowledgeSkill: 0.85}
+	pass := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if c.Run(acct, owner).Passed {
+			pass++
+		}
+	}
+	rate := float64(pass) / n
+	// 0.96 gateway * 0.98 completion ≈ 0.94.
+	if rate < 0.91 || rate > 0.97 {
+		t.Fatalf("owner SMS pass rate = %.3f", rate)
+	}
+}
+
+func TestHijackerAlwaysFailsSMS(t *testing.T) {
+	c := newChallenger(3)
+	acct := &identity.Account{Phone: "+15550001111"}
+	hijacker := Principal{Phones: []geo.Phone{"+2348000000000"}, KnowledgeSkill: 0.2}
+	for i := 0; i < 1000; i++ {
+		if c.Run(acct, hijacker).Passed {
+			t.Fatal("hijacker passed an SMS challenge without the phone")
+		}
+	}
+}
+
+func TestKnowledgeFallback(t *testing.T) {
+	c := newChallenger(4)
+	acct := &identity.Account{SecretQuestion: true}
+	hijacker := Principal{KnowledgeSkill: 0.2}
+	pass := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		res := c.Run(acct, hijacker)
+		if res.Method != MethodKnowledge {
+			t.Fatalf("method = %s, want knowledge", res.Method)
+		}
+		if res.Passed {
+			pass++
+		}
+	}
+	rate := float64(pass) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("hijacker guess rate = %.3f, want ~0.20", rate)
+	}
+}
+
+func TestNoOptionsAdmits(t *testing.T) {
+	c := newChallenger(5)
+	acct := &identity.Account{}
+	res := c.Run(acct, Principal{})
+	if res.Method != MethodNone || !res.Passed {
+		t.Fatalf("no-option challenge = %+v, want admit", res)
+	}
+}
+
+func TestCanReceive(t *testing.T) {
+	p := Principal{Phones: []geo.Phone{"+1a", "+2b"}}
+	if !p.CanReceive("+2b") || p.CanReceive("+3c") {
+		t.Fatal("CanReceive wrong")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"manualhijack/internal/behavior"
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/mail"
+)
+
+// Guardian runs the post-login behavioral detector *online*: it watches
+// the live session feed and, when a session's playbook-similarity score
+// crosses the threshold, suspends the account — the paper's "account was
+// disabled by our anti-abuse systems to prevent further damage" (§6.1).
+//
+// §8.2 frames behavioral detection as a last resort (the hijacker has
+// already seen data by the time it fires); the guardian makes the residual
+// value measurable: suspension blocks further logins and accelerates the
+// victim toward recovery, cutting the scam window.
+type Guardian struct {
+	det  *behavior.Detector
+	w    *World
+	ids  map[event.SessionID]identity.AccountID
+	done map[identity.AccountID]bool
+
+	// Suspended counts accounts the guardian disabled.
+	Suspended int
+}
+
+// newGuardian wires the detector into the world's auth and mail feeds.
+func newGuardian(w *World, cfg behavior.Config) *Guardian {
+	g := &Guardian{
+		det:  behavior.NewDetector(cfg),
+		w:    w,
+		ids:  make(map[event.SessionID]identity.AccountID),
+		done: make(map[identity.AccountID]bool),
+	}
+	w.Auth.SetSessionHook(func(acct identity.AccountID, sess event.SessionID, at time.Time) {
+		g.det.Begin(sess, at)
+		g.ids[sess] = acct
+	})
+	w.Mail.SetActionHook(func(acct identity.AccountID, sess event.SessionID, a mail.ActionInfo) {
+		g.observe(acct, sess, a)
+	})
+	return g
+}
+
+// observe feeds one action and suspends on a fresh flag.
+func (g *Guardian) observe(acct identity.AccountID, sess event.SessionID, a mail.ActionInfo) {
+	action := behavior.Action{At: g.w.Clock.Now()}
+	switch a.Type {
+	case "search":
+		action.Type = behavior.ActionSearch
+		action.Query = a.Query
+	case "folder_open":
+		action.Type = behavior.ActionFolderOpen
+		action.Folder = a.Folder
+	case "contacts_view":
+		action.Type = behavior.ActionContactsView
+	case "filter_create":
+		action.Type = behavior.ActionFilterCreate
+		action.ForwardOut = a.ForwardOut
+	case "replyto_set":
+		action.Type = behavior.ActionReplyToSet
+	case "send":
+		action.Type = behavior.ActionSend
+		action.Recipients = a.Recipients
+	case "mass_delete":
+		action.Type = behavior.ActionMassDelete
+	default:
+		return
+	}
+	v := g.det.Observe(sess, action)
+	if !v.FlaggedNow || g.done[acct] {
+		return
+	}
+	g.done[acct] = true
+	g.Suspended++
+	g.w.Auth.Suspend(acct)
+}

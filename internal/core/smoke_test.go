@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeWorld(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.PopulationN = 2000
+	cfg.Days = 14
+	cfg.DecoyN = 50
+	w := NewWorld(cfg)
+	w.InjectDecoys(10 * 24 * time.Hour)
+	start := time.Now()
+	w.Run()
+	t.Logf("wall time: %v", time.Since(start))
+	for k, n := range w.Log.KindCounts() {
+		t.Logf("%-28s %d", k, n)
+	}
+	for _, c := range w.Crews {
+		t.Logf("crew %-10s processed=%d loggedIn=%d exploited=%d abandoned=%d locked=%d phones=%d queue=%d",
+			c.Name(), c.Processed, c.LoggedIn, c.Exploited, c.Abandoned, c.LockedOut, c.PhoneLocks, c.QueueLen())
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/stats"
+)
+
+// TestStudySmoke runs a reduced-scale study end to end and prints the
+// headline numbers so calibration drift is visible in test logs.
+func TestStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study smoke is slow")
+	}
+	sc := DefaultStudyConfig(7)
+	sc.Scale = 0.25
+	start := time.Now()
+	r := RunStudy(sc)
+	t.Logf("wall: %v events: 2011=%d 2012=%d 2013=%d 2014=%d",
+		time.Since(start), r.Events2011, r.Events2012, r.Events2013, r.Events2014)
+	t.Logf("T2 email mail=%.2f bank=%.2f | page mail=%.2f bank=%.2f (n=%d/%d)",
+		r.Table2.EmailShares["mail"], r.Table2.EmailShares["bank"],
+		r.Table2.PageShares["mail"], r.Table2.PageShares["bank"], r.Table2.EmailN, r.Table2.PageN)
+	t.Logf("URLShare=%.2f", r.URLShare)
+	t.Logf("F3 blank=%.4f nonblank=%d (GETs %d)", r.Fig3.BlankShare, len(r.Fig3.NonBlank), r.Fig3.TotalGETs)
+	t.Logf("F4 edu=%.2f n=%d", r.Fig4.EduShare, r.Fig4.N)
+	t.Logf("F5 mean=%.3f min=%.3f max=%.3f pages=%d", r.Fig5.Mean, r.Fig5.Min, r.Fig5.Max, len(r.Fig5.PerPage))
+	t.Logf("F6 pages=%d outlierQuiet=%dh outlierLen=%d", r.Fig6.Pages, r.Fig6.OutlierQuietHours, len(r.Fig6.Outlier))
+	t.Logf("F7 submitted=%d accessed=%.2f w30m=%.2f w7h=%.2f", r.Fig7.Submitted, r.Fig7.AccessedShare, r.Fig7.Within30Min, r.Fig7.Within7Hours)
+	t.Logf("F8 attempts/ipday=%.2f accts/ipday=%.2f max=%d pwok=%.2f ipdays=%d",
+		r.Fig8.MeanAttemptsPerIPDay, r.Fig8.MeanAccountsPerIPDay, r.Fig8.MaxAccountsPerIPDay, r.Fig8.PasswordOKShare, r.Fig8.IPDays)
+	t.Logf("T3 n=%d finance=%.2f cred=%.3f es=%v zh=%v", r.Table3.N, r.Table3.FinanceShare, r.Table3.CredShare, r.Table3.HasSpanish, r.Table3.HasChinese)
+	t.Logf("Assess cases=%d mean=%v exploited=%.2f folders=%v", r.Assessment.Cases, r.Assessment.MeanDuration, r.Assessment.ExploitedShare, r.Assessment.FolderOpenRates)
+	t.Logf("Exploit vol=%.2f rcpt=%.2f rep=%.2f scam=%.2f ≤5=%.2f small=%.3f", r.Exploitation.VolumeDelta, r.Exploitation.RecipientsDelta, r.Exploitation.ReportsDelta, r.Exploitation.ScamShare, r.Exploitation.AtMostFiveMessages, r.Exploitation.SmallCustomizedShare)
+	t.Logf("Contacts rate=%.4f vs %.4f mult=%.1f (n=%d/%d)", r.ContactRisk.ContactRate, r.ContactRisk.RandomRate, r.ContactRisk.Multiplier, r.ContactRisk.ContactCohort, r.ContactRisk.RandomCohort)
+	t.Logf("Ret11 lock=%.2f del|lock=%.2f rec|lock=%.2f cases=%d", r.Retention2011.LockoutShare, r.Retention2011.MassDeleteGivenLockout, r.Retention2011.RecoveryChangeGivenLockout, r.Retention2011.Cases)
+	t.Logf("Ret12 lock=%.2f del|lock=%.3f rec|lock=%.2f filter=%.2f replyto=%.2f cases=%d", r.Retention2012.LockoutShare, r.Retention2012.MassDeleteGivenLockout, r.Retention2012.RecoveryChangeGivenLockout, r.Retention2012.FilterShare, r.Retention2012.ReplyToShare, r.Retention2012.Cases)
+	t.Logf("F9 n=%d w1h=%.2f w13h=%.2f", r.Fig9.Recoveries, r.Fig9.Within1Hour, r.Fig9.Within13Hour)
+	t.Logf("F10 %v", r.Fig10.Methods)
+	t.Logf("Channels recycled=%.3f bounce=%.3f emailAttempts=%d", r.Channels.RecycledShare, r.Channels.BounceShare, r.Channels.EmailAttempts)
+	t.Logf("F11 top=%v cases=%d", top3(r.Fig11.Shares), r.Fig11.Cases)
+	t.Logf("F12 top=%v phones=%d", top3(r.Fig12.Shares), r.Fig12.Phones)
+	t.Logf("BaseRate=%.1f/M/day hijacks=%d active=%d pages/wk=%v", r.BaseRates.HijacksPerMillionActivePerDay, r.BaseRates.Hijacks, r.BaseRates.ActiveAccounts, r.BaseRates.PagesPerWeek)
+	t.Logf("Behavior prec=%.2f rec=%.2f exposure=%v (hj=%d org=%d fp=%d)", r.Behavior.Precision, r.Behavior.Recall, r.Behavior.MeanExposure, r.Behavior.HijackSessions, r.Behavior.OrganicSessions, r.Behavior.FalsePositives)
+	for _, pt := range r.RiskSweep {
+		t.Logf("risk t=%.2f caught=%.2f friction=%.4f", pt.Threshold, pt.HijackerCaught, pt.OwnerChallenged)
+	}
+}
+
+func top3(es []stats.Entry) []stats.Entry {
+	if len(es) > 3 {
+		es = es[:3]
+	}
+	return es
+}

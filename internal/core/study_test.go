@@ -1,0 +1,385 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"manualhijack/internal/core"
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/report"
+)
+
+// studyReport runs one reduced-scale study per test binary and shares it:
+// the shape assertions below all read from the same deterministic run.
+var sharedReport *core.StudyReport
+
+func studyReport(t *testing.T) *core.StudyReport {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("study integration tests are slow")
+	}
+	if sharedReport == nil {
+		sc := core.DefaultStudyConfig(7)
+		sc.Scale = 0.25
+		sharedReport = core.RunStudy(sc)
+	}
+	return sharedReport
+}
+
+func TestStudyTable2Shape(t *testing.T) {
+	r := studyReport(t)
+	e := r.Table2.EmailShares
+	if e[event.TargetMail] < 0.25 || e[event.TargetMail] > 0.45 {
+		t.Errorf("email mail share = %.2f, want ~0.35", e[event.TargetMail])
+	}
+	if e[event.TargetMail] <= e[event.TargetAppStore] || e[event.TargetMail] <= e[event.TargetSocial] {
+		t.Errorf("mail should dominate email targets: %v", e)
+	}
+	p := r.Table2.PageShares
+	if p[event.TargetMail] < 0.18 || p[event.TargetMail] > 0.40 {
+		t.Errorf("page mail share = %.2f, want ~0.27", p[event.TargetMail])
+	}
+	// HasURL is drawn per campaign, so a 100-lure sample clusters to an
+	// effective n of ~40 campaigns; the band reflects that.
+	if r.URLShare < 0.42 || r.URLShare > 0.80 {
+		t.Errorf("URL share = %.2f, want ~0.62", r.URLShare)
+	}
+}
+
+func TestStudyFigure3Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Fig3.BlankShare < 0.98 {
+		t.Errorf("blank referrers = %.4f, want > 0.98", r.Fig3.BlankShare)
+	}
+	if len(r.Fig3.NonBlank) < 3 {
+		t.Errorf("non-blank referrer variety = %d", len(r.Fig3.NonBlank))
+	}
+}
+
+func TestStudyFigure4Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Fig4.EduShare < 0.5 {
+		t.Errorf("edu share = %.2f, want dominant", r.Fig4.EduShare)
+	}
+	if len(r.Fig4.Shares) < 5 {
+		t.Errorf("TLD variety = %d, want a long tail", len(r.Fig4.Shares))
+	}
+	if r.Fig4.Shares[0].Key != "edu" {
+		t.Errorf("top TLD = %s, want edu", r.Fig4.Shares[0].Key)
+	}
+}
+
+func TestStudyFigure5Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Fig5.Mean < 0.08 || r.Fig5.Mean > 0.22 {
+		t.Errorf("mean success rate = %.3f, want ~0.14", r.Fig5.Mean)
+	}
+	if r.Fig5.Max < 0.25 {
+		t.Errorf("max success rate = %.3f, want a high-variance spread", r.Fig5.Max)
+	}
+	if r.Fig5.Max-r.Fig5.Min < 0.15 {
+		t.Errorf("success-rate spread = %.3f–%.3f, want huge variance", r.Fig5.Min, r.Fig5.Max)
+	}
+}
+
+func TestStudyFigure6Shape(t *testing.T) {
+	r := studyReport(t)
+	if len(r.Fig6.StandardAvg) == 0 {
+		t.Fatal("no standard-page series")
+	}
+	// Decay: early volume must exceed late volume.
+	early, late := 0.0, 0.0
+	n := len(r.Fig6.StandardAvg)
+	for i, v := range r.Fig6.StandardAvg {
+		if i < n/4 {
+			early += v
+		} else if i >= n*3/4 {
+			late += v
+		}
+	}
+	if early <= late {
+		t.Errorf("standard pages lack decay: early=%.1f late=%.1f", early, late)
+	}
+	if len(r.Fig6.Outlier) == 0 {
+		t.Fatal("no outlier series")
+	}
+	if r.Fig6.OutlierQuietHours < 6 {
+		t.Errorf("outlier quiet period = %dh, want a testing lull (~15h)", r.Fig6.OutlierQuietHours)
+	}
+}
+
+func TestStudyFigure7Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Fig7.Submitted == 0 {
+		t.Fatal("no decoys submitted")
+	}
+	if r.Fig7.AccessedShare < 0.6 || r.Fig7.AccessedShare >= 1.0 {
+		t.Errorf("accessed = %.2f, want most but not all", r.Fig7.AccessedShare)
+	}
+	if r.Fig7.Within30Min < 0.08 || r.Fig7.Within30Min > 0.45 {
+		t.Errorf("within 30 min = %.2f, want ~0.20", r.Fig7.Within30Min)
+	}
+	if r.Fig7.Within7Hours < 0.30 || r.Fig7.Within7Hours > 0.75 {
+		t.Errorf("within 7h = %.2f, want ~0.50", r.Fig7.Within7Hours)
+	}
+	if r.Fig7.Within7Hours <= r.Fig7.Within30Min {
+		t.Error("CDF not increasing")
+	}
+}
+
+func TestStudyFigure8Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Fig8.MaxAccountsPerIPDay > 10 {
+		t.Errorf("max accounts per IP-day = %d, discipline cap is 10", r.Fig8.MaxAccountsPerIPDay)
+	}
+	if r.Fig8.MeanAccountsPerIPDay < 3 {
+		t.Errorf("mean accounts per IP-day = %.1f, want high utilization", r.Fig8.MeanAccountsPerIPDay)
+	}
+	if r.Fig8.PasswordOKShare < 0.55 || r.Fig8.PasswordOKShare > 0.85 {
+		t.Errorf("correct-password share = %.2f, want ~0.75 minus retries", r.Fig8.PasswordOKShare)
+	}
+}
+
+func TestStudyTable3Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Table3.FinanceShare < 0.75 {
+		t.Errorf("finance share = %.2f, want overwhelming", r.Table3.FinanceShare)
+	}
+	if r.Table3.CredShare > 0.15 {
+		t.Errorf("credential share = %.2f, want small", r.Table3.CredShare)
+	}
+	if !r.Table3.HasSpanish || !r.Table3.HasChinese {
+		t.Errorf("regional terms missing: es=%v zh=%v", r.Table3.HasSpanish, r.Table3.HasChinese)
+	}
+	// "wire transfer" and "bank transfer" have near-equal Table 3 weights;
+	// either may sample on top, but both must lead the list.
+	top2 := map[string]bool{r.Table3.Terms[0].Key: true, r.Table3.Terms[1].Key: true}
+	if !top2["wire transfer"] || !top2["bank transfer"] {
+		t.Errorf("top terms = %v, want wire/bank transfer leading", r.Table3.Terms[:2])
+	}
+}
+
+func TestStudyAssessmentShape(t *testing.T) {
+	r := studyReport(t)
+	a := r.Assessment
+	if a.Cases < 50 {
+		t.Fatalf("cases = %d, too few for shape checks", a.Cases)
+	}
+	if a.MeanDuration < 2*time.Minute || a.MeanDuration > 4*time.Minute {
+		t.Errorf("mean assessment = %v, want ~3m", a.MeanDuration)
+	}
+	if a.ExploitedShare <= 0.2 || a.ExploitedShare >= 0.95 {
+		t.Errorf("exploited share = %.2f, want some abandoned", a.ExploitedShare)
+	}
+	f := a.FolderOpenRates
+	if f[event.FolderStarred] < 0.08 || f[event.FolderStarred] > 0.28 {
+		t.Errorf("starred rate = %.2f, want ~0.16", f[event.FolderStarred])
+	}
+	if f[event.FolderStarred] <= f[event.FolderSent] {
+		t.Errorf("folder ordering wrong: %v", f)
+	}
+	if f[event.FolderTrash] > 0.05 {
+		t.Errorf("trash rate = %.2f, want <1%%-ish", f[event.FolderTrash])
+	}
+}
+
+func TestStudyExploitationShape(t *testing.T) {
+	r := studyReport(t)
+	e := r.Exploitation
+	if e.ScamShare < 0.5 || e.ScamShare > 0.85 {
+		t.Errorf("scam share = %.2f, want ~0.65", e.ScamShare)
+	}
+	if e.RecipientsDelta <= e.VolumeDelta {
+		t.Errorf("recipients delta (%.1f) must exceed volume delta (%.1f)",
+			e.RecipientsDelta, e.VolumeDelta)
+	}
+	if e.ReportsDelta <= 0 {
+		t.Errorf("spam reports delta = %.2f, want a jump", e.ReportsDelta)
+	}
+	if e.AtMostFiveMessages < 0.5 {
+		t.Errorf("≤5 messages share = %.2f, want most", e.AtMostFiveMessages)
+	}
+}
+
+func TestStudyContactRiskShape(t *testing.T) {
+	r := studyReport(t)
+	cr := r.ContactRisk
+	if cr.ContactCohort < 50 || cr.RandomCohort < 200 {
+		t.Fatalf("cohorts too small: %d/%d", cr.ContactCohort, cr.RandomCohort)
+	}
+	// The random-cohort hit count is 0–3 events, so the multiplier's seed
+	// variance spans roughly 8×–70× around the paper's 36×.
+	if cr.Multiplier < 8 {
+		t.Errorf("contact multiplier = %.1f×, want order of paper's 36×", cr.Multiplier)
+	}
+	if cr.ContactRate <= cr.RandomRate {
+		t.Error("contacts not at elevated risk")
+	}
+}
+
+func TestStudyRetentionEvolution(t *testing.T) {
+	r := studyReport(t)
+	if r.Retention2011.MassDeleteGivenLockout < 0.3 {
+		t.Errorf("2011 mass-delete|lockout = %.2f, want ~0.46", r.Retention2011.MassDeleteGivenLockout)
+	}
+	if r.Retention2012.MassDeleteGivenLockout > 0.08 {
+		t.Errorf("2012 mass-delete|lockout = %.3f, want ~0.016", r.Retention2012.MassDeleteGivenLockout)
+	}
+	if r.Retention2011.RecoveryChangeGivenLockout <= r.Retention2012.RecoveryChangeGivenLockout {
+		t.Error("recovery-change rate should drop 2011→2012")
+	}
+	if r.Retention2012.FilterShare < 0.05 || r.Retention2012.FilterShare > 0.30 {
+		t.Errorf("filter share = %.2f, want ~0.15", r.Retention2012.FilterShare)
+	}
+	if r.Retention2012.ReplyToShare < 0.10 || r.Retention2012.ReplyToShare > 0.40 {
+		t.Errorf("reply-to share = %.2f, want ~0.26", r.Retention2012.ReplyToShare)
+	}
+}
+
+func TestStudyFigure9Shape(t *testing.T) {
+	r := studyReport(t)
+	if r.Fig9.Recoveries < 20 {
+		t.Fatalf("recoveries = %d, too few", r.Fig9.Recoveries)
+	}
+	if r.Fig9.Within1Hour < 0.05 || r.Fig9.Within1Hour > 0.45 {
+		t.Errorf("within 1h = %.2f, want ~0.22", r.Fig9.Within1Hour)
+	}
+	if r.Fig9.Within13Hour < 0.35 || r.Fig9.Within13Hour > 0.92 {
+		t.Errorf("within 13h = %.2f, want ~0.50", r.Fig9.Within13Hour)
+	}
+	if r.Fig9.Within13Hour <= r.Fig9.Within1Hour {
+		t.Error("latency CDF not increasing")
+	}
+}
+
+func TestStudyFigure10Shape(t *testing.T) {
+	r := studyReport(t)
+	sms := r.Fig10.Methods[event.MethodSMS]
+	email := r.Fig10.Methods[event.MethodEmail]
+	fallback := r.Fig10.Methods[event.MethodFallback]
+	if sms.Attempts == 0 || email.Attempts == 0 || fallback.Attempts == 0 {
+		t.Fatalf("missing method attempts: %+v", r.Fig10.Methods)
+	}
+	// SMS and email both sit near 75–81% and can swap order in modest
+	// samples; the hard property is that both far exceed the fallback.
+	if sms.Rate <= fallback.Rate+0.2 || email.Rate <= fallback.Rate+0.2 {
+		t.Errorf("method ordering wrong: sms=%.2f email=%.2f fallback=%.2f",
+			sms.Rate, email.Rate, fallback.Rate)
+	}
+	if sms.Rate < 0.65 || sms.Rate > 0.95 {
+		t.Errorf("sms rate = %.3f, want ~0.81", sms.Rate)
+	}
+	if fallback.Rate > 0.40 {
+		t.Errorf("fallback rate = %.3f, want ~0.14", fallback.Rate)
+	}
+}
+
+func TestStudyChannelsShape(t *testing.T) {
+	r := studyReport(t)
+	if r.Channels.RecycledShare < 0.04 || r.Channels.RecycledShare > 0.10 {
+		t.Errorf("recycled = %.3f, want ~0.07", r.Channels.RecycledShare)
+	}
+}
+
+func TestStudyAttributionShape(t *testing.T) {
+	r := studyReport(t)
+	// Figure 11: CN and MY must be the top two.
+	if len(r.Fig11.Shares) < 3 {
+		t.Fatalf("f11 shares = %v", r.Fig11.Shares)
+	}
+	top2 := map[string]bool{r.Fig11.Shares[0].Key: true, r.Fig11.Shares[1].Key: true}
+	if !top2[string(geo.China)] || !top2[string(geo.Malaysia)] {
+		t.Errorf("f11 top two = %v, want CN and MY", r.Fig11.Shares[:2])
+	}
+	// Figure 12: CI and NG dominate; CN/MY absent.
+	if r.Fig12.Phones < 5 {
+		t.Fatalf("f12 phones = %d, too few", r.Fig12.Phones)
+	}
+	for _, e := range r.Fig12.Shares {
+		if e.Key == string(geo.China) || e.Key == string(geo.Malaysia) {
+			t.Errorf("f12 contains %s; those crews didn't use the phone tactic", e.Key)
+		}
+	}
+	top2 = map[string]bool{r.Fig12.Shares[0].Key: true}
+	if len(r.Fig12.Shares) > 1 {
+		top2[r.Fig12.Shares[1].Key] = true
+	}
+	if !top2[string(geo.IvoryCoast)] && !top2[string(geo.Nigeria)] {
+		t.Errorf("f12 top = %v, want CI/NG", r.Fig12.Shares)
+	}
+}
+
+func TestStudyBehaviorShape(t *testing.T) {
+	r := studyReport(t)
+	if r.Behavior.Recall < 0.4 {
+		t.Errorf("behavior recall = %.2f, want useful", r.Behavior.Recall)
+	}
+	if r.Behavior.Precision < 0.8 {
+		t.Errorf("behavior precision = %.2f, want high", r.Behavior.Precision)
+	}
+	if r.Behavior.MeanExposure <= 0 {
+		t.Error("behavioral detector must fire after some exposure (§8.2)")
+	}
+}
+
+func TestStudyRiskSweepMonotone(t *testing.T) {
+	r := studyReport(t)
+	var prevCaught, prevFriction float64 = 2, 2
+	for _, pt := range r.RiskSweep {
+		if pt.HijackerCaught > prevCaught+1e-9 || pt.OwnerChallenged > prevFriction+1e-9 {
+			t.Errorf("sweep not monotone at t=%.2f", pt.Threshold)
+		}
+		prevCaught, prevFriction = pt.HijackerCaught, pt.OwnerChallenged
+	}
+}
+
+func TestRenderStudyOutput(t *testing.T) {
+	r := studyReport(t)
+	var b bytes.Buffer
+	report.RenderStudy(&b, r)
+	out := b.String()
+	for _, want := range []string{"Table 2", "Figure 7", "Figure 10", "Figure 12", "threshold sweep"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+func TestStudyWorkScheduleShape(t *testing.T) {
+	r := studyReport(t)
+	ws := r.Schedule
+	if ws.Logins < 200 {
+		t.Fatalf("hijacker logins = %d, too few", ws.Logins)
+	}
+	// §5.5: largely inactive over the weekends (uniform would be 28.6%).
+	if ws.WeekendShare > 0.05 {
+		t.Errorf("weekend share = %.2f, want near zero", ws.WeekendShare)
+	}
+	// A synchronized lunch break shows as a deep mid-shift dip.
+	if ws.LunchDip < 0.5 {
+		t.Errorf("lunch dip = %.2f, want pronounced", ws.LunchDip)
+	}
+	// Tight daily schedule: well under round-the-clock activity.
+	if ws.ActiveHours > 18 {
+		t.Errorf("active hours = %d, want a shift, not 24/7", ws.ActiveHours)
+	}
+}
+
+func TestStudyDoppelgangerShape(t *testing.T) {
+	r := studyReport(t)
+	d := r.Doppelganger
+	if d.HijackerSettings < 10 {
+		t.Fatalf("hijacker redirections = %d, too few", d.HijackerSettings)
+	}
+	if d.Precision < 0.9 {
+		t.Errorf("doppelganger precision = %.2f, want high", d.Precision)
+	}
+	if d.Recall < 0.5 {
+		t.Errorf("doppelganger recall = %.2f, want useful", d.Recall)
+	}
+	if d.MeanHijackerSim <= d.MeanOwnerSim {
+		t.Error("no similarity separation between hijacker and owner settings")
+	}
+}

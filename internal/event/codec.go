@@ -1,0 +1,57 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// decodeAs unmarshals data into a concrete event type and returns it as an
+// Event value.
+func decodeAs[T Event](data []byte) (Event, error) {
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// decoders maps every record kind to its concrete decoder.
+var decoders = map[Kind]func([]byte) (Event, error){
+	KindLogin:             decodeAs[Login],
+	KindPasswordChanged:   decodeAs[PasswordChanged],
+	KindRecoveryChanged:   decodeAs[RecoveryChanged],
+	KindTwoSVEnrolled:     decodeAs[TwoSVEnrolled],
+	KindMessageSent:       decodeAs[MessageSent],
+	KindSearch:            decodeAs[Search],
+	KindFolderOpened:      decodeAs[FolderOpened],
+	KindContactsViewed:    decodeAs[ContactsViewed],
+	KindFilterCreated:     decodeAs[FilterCreated],
+	KindReplyToSet:        decodeAs[ReplyToSet],
+	KindMassDeletion:      decodeAs[MassDeletion],
+	KindSpamReported:      decodeAs[SpamReported],
+	KindPageCreated:       decodeAs[PageCreated],
+	KindPageHit:           decodeAs[PageHit],
+	KindPageDetected:      decodeAs[PageDetected],
+	KindPageTakedown:      decodeAs[PageTakedown],
+	KindLureSent:          decodeAs[LureSent],
+	KindCredentialPhished: decodeAs[CredentialPhished],
+	KindHijackStarted:     decodeAs[HijackStarted],
+	KindHijackAssessed:    decodeAs[HijackAssessed],
+	KindHijackEnded:       decodeAs[HijackEnded],
+	KindScamReply:         decodeAs[ScamReply],
+	KindMoneyWired:        decodeAs[MoneyWired],
+	KindNotificationSent:  decodeAs[NotificationSent],
+	KindClaimFiled:        decodeAs[ClaimFiled],
+	KindClaimAttempt:      decodeAs[ClaimAttempt],
+	KindClaimResolved:     decodeAs[ClaimResolved],
+	KindRemission:         decodeAs[Remission],
+}
+
+// Decode reconstructs a concrete record from its kind and JSON payload.
+func Decode(kind Kind, data []byte) (Event, error) {
+	dec, ok := decoders[kind]
+	if !ok {
+		return nil, fmt.Errorf("event: unknown kind %q", kind)
+	}
+	return dec(data)
+}

@@ -1,0 +1,317 @@
+// Package identity models the provider's account population: users, their
+// credentials, recovery options, activity status, home geography, and the
+// contact graph connecting them.
+//
+// The paper's unit of study is the account. Recovery-option coverage (who
+// has a phone / secondary email / secret question on file) drives the
+// recovery-method analysis of §6.3, and the contact graph drives the
+// contact-exploitation analysis of §5.3 (victims' contacts are hijacked at
+// 36× the base rate because hijackers phish them preferentially).
+package identity
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"manualhijack/internal/geo"
+	"manualhijack/internal/randx"
+)
+
+// AccountID identifies a provider account.
+type AccountID int32
+
+// None is the zero AccountID, used when an address is not a provider
+// account.
+const None AccountID = 0
+
+// Address is an email address (provider or external).
+type Address string
+
+// Account is one provider account.
+type Account struct {
+	ID       AccountID
+	Addr     Address
+	Password string
+
+	// Recovery options (§6.3). Empty when not on file.
+	Phone          geo.Phone
+	SecondaryEmail Address
+	// SecondaryRecycled marks a secondary email whose upstream provider
+	// expired and re-released the address (the paper estimates 7% of
+	// secondary emails were recycled as of 2014).
+	SecondaryRecycled bool
+	// SecondaryTypo marks a mistyped secondary email (bounces, ~5%).
+	SecondaryTypo  bool
+	SecretQuestion bool
+
+	// HomeCountry is where the owner usually logs in from.
+	HomeCountry geo.Country
+
+	// LastActive supports the paper's "active account" definition (accessed
+	// within the past 30 days).
+	LastActive time.Time
+
+	// Contacts are the accounts (and external addresses) this user emails.
+	Contacts []Address
+
+	// Gender and City feed scam semi-personalization (§5.3).
+	Gender string
+	City   string
+
+	// TwoSV marks accounts with 2-step verification enabled; LockedByPhone
+	// records a hijacker-enrolled lockout phone if any (§5.4, Figure 12).
+	TwoSV          bool
+	TwoSVPhone     geo.Phone
+	LockedByPhone  bool
+	PasswordSetAt  time.Time
+	DisabledByAnti bool // anti-abuse systems disabled the account
+
+	// AppPasswords are application-specific passwords issued for legacy
+	// mail clients that cannot do 2-step verification. §8.2 calls them
+	// "far from ideal since those passwords can be phished" — they
+	// authenticate without the second factor.
+	AppPasswords []string
+}
+
+// HasAppPassword reports whether pw is one of the account's
+// application-specific passwords.
+func (a *Account) HasAppPassword(pw string) bool {
+	for _, p := range a.AppPasswords {
+		if p == pw {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether the account was accessed within 30 days of now.
+func (a *Account) Active(now time.Time) bool {
+	return now.Sub(a.LastActive) <= 30*24*time.Hour
+}
+
+// Directory is the account database. It is built once per world and then
+// mutated only through its methods.
+type Directory struct {
+	accounts []*Account // index = AccountID-1
+	byAddr   map[Address]AccountID
+}
+
+// Config controls population generation.
+type Config struct {
+	// N is the number of provider accounts.
+	N int
+	// PhoneRate, SecondaryEmailRate, QuestionRate are the fractions of
+	// accounts with each recovery option on file. They overlap
+	// independently; accounts can have none (→ fallback-only recovery).
+	PhoneRate          float64
+	SecondaryEmailRate float64
+	QuestionRate       float64
+	// RecycledRate is the fraction of secondary emails that upstream
+	// providers recycled (paper: ~7%); TypoRate is the fraction mistyped
+	// (paper: ~5% bounces).
+	RecycledRate float64
+	TypoRate     float64
+	// MeanContacts controls contact-list sizes (heavy-tailed).
+	MeanContacts int
+	// ExternalContactShare is the fraction of contact-list entries that are
+	// addresses outside the provider.
+	ExternalContactShare float64
+	// HomeCountries weights owners' home geography.
+	HomeCountries *randx.Weighted[geo.Country]
+	// Start stamps initial LastActive/PasswordSetAt times.
+	Start time.Time
+}
+
+// DefaultConfig returns the population defaults used across the study.
+func DefaultConfig(start time.Time) Config {
+	return Config{
+		N:                    20000,
+		PhoneRate:            0.55,
+		SecondaryEmailRate:   0.65,
+		QuestionRate:         0.50,
+		RecycledRate:         0.07,
+		TypoRate:             0.05,
+		MeanContacts:         24,
+		ExternalContactShare: 0.30,
+		HomeCountries: randx.NewWeighted(
+			[]geo.Country{geo.US, geo.UK, geo.Germany, geo.France, geo.Brazil,
+				geo.India, geo.Spain, geo.Canada, geo.Australia, geo.Japan, geo.Mexico},
+			[]float64{30, 10, 8, 8, 8, 12, 6, 6, 4, 4, 4},
+		),
+		Start: start,
+	}
+}
+
+var firstNames = []string{
+	"alex", "maria", "wei", "sofia", "james", "fatima", "juan", "emma",
+	"raj", "chen", "olga", "pierre", "ana", "david", "yuki", "lena",
+	"omar", "grace", "ivan", "nina",
+}
+
+var cities = []string{
+	"London", "Madrid", "Lagos", "Abidjan", "Kuala Lumpur", "Shanghai",
+	"New York", "Paris", "Mumbai", "Sao Paulo", "Cape Town", "Caracas",
+	"Berlin", "Tokyo", "Toronto", "Sydney", "Mexico City", "Hanoi",
+}
+
+// externalDomains approximate the non-provider mail world; weights encode
+// the prevalence of each class among phishable addresses. Self-hosted
+// .edu-style domains are heavily represented among *successfully lured*
+// victims because commodity spam filtering lets roughly 10× more lure mail
+// through (Kanich et al., cited in §4.2) — that skew is applied by the
+// phishing package, not here.
+var externalDomains = []string{
+	"state.edu", "uni.edu", "college.edu", "tech.edu",
+	"example.com", "corp.com", "mail.net", "web.org",
+	"mail.ca", "web.ar", "mail.br", "post.se", "mail.uk", "web.us",
+	"mail.fr", "web.it", "mail.cl", "web.in", "mail.es", "web.fi",
+	"mail.mx", "web.au", "mail.pl", "web.sg", "mail.de", "web.nl",
+}
+
+// ExternalDomains exposes the external-domain universe for the phishing
+// victim model.
+func ExternalDomains() []string { return append([]string(nil), externalDomains...) }
+
+// ProviderDomain is the provider's mail domain (the Gmail analog).
+const ProviderDomain = "pmail.test"
+
+// NewDirectory generates a population.
+func NewDirectory(r *randx.Rand, cfg Config) *Directory {
+	d := &Directory{
+		accounts: make([]*Account, 0, cfg.N),
+		byAddr:   make(map[Address]AccountID, cfg.N),
+	}
+	gen := r.Fork("identity")
+	for i := 0; i < cfg.N; i++ {
+		id := AccountID(i + 1)
+		name := fmt.Sprintf("%s.%d", randx.Pick(gen, firstNames), id)
+		addr := Address(name + "@" + ProviderDomain)
+		acct := &Account{
+			ID:            id,
+			Addr:          addr,
+			Password:      fmt.Sprintf("pw-%d-%04x", id, gen.Intn(1<<16)),
+			HomeCountry:   cfg.HomeCountries.Choose(gen),
+			LastActive:    cfg.Start.Add(-gen.ExpDuration(10 * 24 * time.Hour)),
+			Gender:        randx.Pick(gen, []string{"f", "m"}),
+			City:          randx.Pick(gen, cities),
+			PasswordSetAt: cfg.Start,
+		}
+		if gen.Bool(cfg.PhoneRate) {
+			acct.Phone = geo.NewPhone(gen, acct.HomeCountry)
+		}
+		if gen.Bool(cfg.SecondaryEmailRate) {
+			acct.SecondaryEmail = Address(fmt.Sprintf("%s.alt@%s", name, randx.Pick(gen, externalDomains)))
+			acct.SecondaryRecycled = gen.Bool(cfg.RecycledRate)
+			if !acct.SecondaryRecycled {
+				acct.SecondaryTypo = gen.Bool(cfg.TypoRate)
+			}
+		}
+		acct.SecretQuestion = gen.Bool(cfg.QuestionRate)
+		d.accounts = append(d.accounts, acct)
+		d.byAddr[addr] = id
+	}
+	d.buildContactGraph(gen, cfg)
+	return d
+}
+
+// buildContactGraph wires a heavy-tailed, clustered contact graph:
+// each account gets an Exp-distributed number of contacts, drawn with
+// locality (accounts with nearby IDs are more likely contacts, giving the
+// graph community structure so a hijacked account's contacts also know
+// each other — the property the §5.3 contact-phishing experiment needs).
+func (d *Directory) buildContactGraph(r *randx.Rand, cfg Config) {
+	n := len(d.accounts)
+	if n == 0 {
+		return
+	}
+	for i, acct := range d.accounts {
+		k := 1 + r.Poisson(float64(cfg.MeanContacts))
+		seen := map[Address]bool{acct.Addr: true}
+		for len(acct.Contacts) < k {
+			if r.Bool(cfg.ExternalContactShare) {
+				ext := Address(fmt.Sprintf("friend.%d@%s", r.Intn(n*4), randx.Pick(r, externalDomains)))
+				if !seen[ext] {
+					seen[ext] = true
+					acct.Contacts = append(acct.Contacts, ext)
+				}
+				continue
+			}
+			// Locality: 90% of provider contacts come from a window around
+			// this account's ID, the rest uniformly. Social graphs are
+			// highly clustered; the clustering is what keeps hijackers'
+			// contact-targeting confined to victim neighborhoods (§5.3).
+			var j int
+			if r.Bool(0.9) {
+				window := 200
+				j = i + r.Intn(2*window+1) - window
+				j = ((j % n) + n) % n
+			} else {
+				j = r.Intn(n)
+			}
+			other := d.accounts[j]
+			if !seen[other.Addr] {
+				seen[other.Addr] = true
+				acct.Contacts = append(acct.Contacts, other.Addr)
+			}
+		}
+	}
+}
+
+// Len returns the population size.
+func (d *Directory) Len() int { return len(d.accounts) }
+
+// Get returns the account with the given ID, or nil.
+func (d *Directory) Get(id AccountID) *Account {
+	if id < 1 || int(id) > len(d.accounts) {
+		return nil
+	}
+	return d.accounts[id-1]
+}
+
+// Lookup resolves an address to an account ID (None if external).
+func (d *Directory) Lookup(addr Address) AccountID { return d.byAddr[addr] }
+
+// All iterates over every account in ID order.
+func (d *Directory) All(fn func(*Account)) {
+	for _, a := range d.accounts {
+		fn(a)
+	}
+}
+
+// IDs returns all account IDs in order.
+func (d *Directory) IDs() []AccountID {
+	out := make([]AccountID, len(d.accounts))
+	for i := range d.accounts {
+		out[i] = AccountID(i + 1)
+	}
+	return out
+}
+
+// DeviceFingerprint is the usual browser fingerprint of an account's
+// owner. Victim agents present it on organic logins; device-spoofing
+// hijacker crews mimic it to defeat the new-device risk signal.
+func DeviceFingerprint(id AccountID) string {
+	return "device-" + string(rune('a'+id%26)) + string(rune('0'+id%10))
+}
+
+// IsProvider reports whether addr belongs to the provider domain.
+func IsProvider(addr Address) bool {
+	return strings.HasSuffix(string(addr), "@"+ProviderDomain)
+}
+
+// TLD extracts the top-level domain of an address ("edu", "com", ...).
+// Returns "" for malformed addresses.
+func TLD(addr Address) string {
+	s := string(addr)
+	at := strings.LastIndexByte(s, '@')
+	if at < 0 || at == len(s)-1 {
+		return ""
+	}
+	domain := s[at+1:]
+	dot := strings.LastIndexByte(domain, '.')
+	if dot < 0 || dot == len(domain)-1 {
+		return ""
+	}
+	return domain[dot+1:]
+}

@@ -1,0 +1,216 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"manualhijack/internal/geo"
+	"manualhijack/internal/randx"
+)
+
+var start = time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func smallDirectory(t *testing.T, n int, seed int64) *Directory {
+	t.Helper()
+	cfg := DefaultConfig(start)
+	cfg.N = n
+	return NewDirectory(randx.New(seed), cfg)
+}
+
+func TestPopulationBasics(t *testing.T) {
+	d := smallDirectory(t, 500, 1)
+	if d.Len() != 500 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	seen := map[Address]bool{}
+	d.All(func(a *Account) {
+		if a.ID < 1 || int(a.ID) > 500 {
+			t.Fatalf("bad id %d", a.ID)
+		}
+		if seen[a.Addr] {
+			t.Fatalf("duplicate address %s", a.Addr)
+		}
+		seen[a.Addr] = true
+		if !IsProvider(a.Addr) {
+			t.Fatalf("account address %s not on provider domain", a.Addr)
+		}
+		if a.Password == "" {
+			t.Fatal("empty password")
+		}
+		if got := d.Lookup(a.Addr); got != a.ID {
+			t.Fatalf("Lookup(%s) = %d, want %d", a.Addr, got, a.ID)
+		}
+	})
+}
+
+func TestGetBounds(t *testing.T) {
+	d := smallDirectory(t, 10, 2)
+	if d.Get(0) != nil || d.Get(11) != nil || d.Get(-5) != nil {
+		t.Fatal("out-of-range Get should return nil")
+	}
+	if d.Get(1) == nil || d.Get(10) == nil {
+		t.Fatal("in-range Get returned nil")
+	}
+}
+
+func TestRecoveryOptionRates(t *testing.T) {
+	d := smallDirectory(t, 5000, 3)
+	var phones, secondaries, questions, recycled int
+	d.All(func(a *Account) {
+		if a.Phone != "" {
+			phones++
+		}
+		if a.SecondaryEmail != "" {
+			secondaries++
+			if a.SecondaryRecycled {
+				recycled++
+			}
+		}
+		if a.SecretQuestion {
+			questions++
+		}
+	})
+	check := func(name string, got int, total int, want, tol float64) {
+		rate := float64(got) / float64(total)
+		if rate < want-tol || rate > want+tol {
+			t.Errorf("%s rate = %.3f, want %.2f±%.2f", name, rate, want, tol)
+		}
+	}
+	check("phone", phones, 5000, 0.55, 0.03)
+	check("secondary", secondaries, 5000, 0.65, 0.03)
+	check("question", questions, 5000, 0.50, 0.03)
+	check("recycled", recycled, secondaries, 0.07, 0.02)
+}
+
+func TestContactGraphShape(t *testing.T) {
+	d := smallDirectory(t, 2000, 4)
+	totalContacts, external := 0, 0
+	d.All(func(a *Account) {
+		if len(a.Contacts) == 0 {
+			t.Fatalf("account %d has no contacts", a.ID)
+		}
+		seen := map[Address]bool{}
+		for _, c := range a.Contacts {
+			if c == a.Addr {
+				t.Fatalf("account %d is its own contact", a.ID)
+			}
+			if seen[c] {
+				t.Fatalf("account %d has duplicate contact %s", a.ID, c)
+			}
+			seen[c] = true
+			totalContacts++
+			if !IsProvider(c) {
+				external++
+			}
+		}
+	})
+	mean := float64(totalContacts) / 2000
+	if mean < 20 || mean > 30 {
+		t.Errorf("mean contacts = %.1f, want ~25", mean)
+	}
+	extShare := float64(external) / float64(totalContacts)
+	if extShare < 0.25 || extShare > 0.35 {
+		t.Errorf("external share = %.3f, want ~0.30", extShare)
+	}
+}
+
+func TestContactLocality(t *testing.T) {
+	d := smallDirectory(t, 3000, 5)
+	near, far := 0, 0
+	d.All(func(a *Account) {
+		for _, c := range a.Contacts {
+			id := d.Lookup(c)
+			if id == None {
+				continue
+			}
+			dist := int(a.ID) - int(id)
+			if dist < 0 {
+				dist = -dist
+			}
+			// Account for ring wraparound.
+			if wrap := 3000 - dist; wrap < dist {
+				dist = wrap
+			}
+			if dist <= 200 {
+				near++
+			} else {
+				far++
+			}
+		}
+	})
+	if near <= far {
+		t.Errorf("contact graph lacks locality: near=%d far=%d", near, far)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := smallDirectory(t, 300, 42)
+	b := smallDirectory(t, 300, 42)
+	for i := 1; i <= 300; i++ {
+		x, y := a.Get(AccountID(i)), b.Get(AccountID(i))
+		if x.Addr != y.Addr || x.Password != y.Password || x.Phone != y.Phone ||
+			len(x.Contacts) != len(y.Contacts) || x.HomeCountry != y.HomeCountry {
+			t.Fatalf("account %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	a := &Account{LastActive: start}
+	if !a.Active(start.Add(29 * 24 * time.Hour)) {
+		t.Fatal("account active 29 days ago should be active")
+	}
+	if a.Active(start.Add(31 * 24 * time.Hour)) {
+		t.Fatal("account active 31 days ago should be inactive")
+	}
+}
+
+func TestTLD(t *testing.T) {
+	cases := map[Address]string{
+		"a@x.edu":       "edu",
+		"b@sub.dom.com": "com",
+		"c@web.ar":      "ar",
+		"noat":          "",
+		"trailing@":     "",
+		"dot@domain.":   "",
+		"x@nodot":       "",
+		"a@b@c.org":     "org",
+	}
+	for addr, want := range cases {
+		if got := TLD(addr); got != want {
+			t.Errorf("TLD(%q) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestIsProvider(t *testing.T) {
+	if !IsProvider("x@" + ProviderDomain) {
+		t.Fatal("provider address not recognized")
+	}
+	if IsProvider("x@gmail.com") {
+		t.Fatal("external address recognized as provider")
+	}
+}
+
+func TestHomeCountriesRegistered(t *testing.T) {
+	d := smallDirectory(t, 1000, 6)
+	d.All(func(a *Account) {
+		if geo.PhoneCode(a.HomeCountry) == "" {
+			t.Fatalf("account %d home country %s not in geo registry", a.ID, a.HomeCountry)
+		}
+	})
+}
+
+// Property: TLD never returns a string containing '@' or '.', and returns
+// "" rather than panicking on arbitrary input.
+func TestTLDProperty(t *testing.T) {
+	f := func(s string) bool {
+		tld := TLD(Address(s))
+		return !strings.ContainsAny(tld, "@.")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package logstore is the append-only event log the simulated services
+// write to and the measurement pipeline reads from.
+//
+// The paper notes that its 14 datasets were aggregated from system logs
+// "via map-reduce computation" and that, for privacy and storage reasons,
+// many authentication-related logs are sanitized or erased within a short
+// time window. Both properties are modeled here: MapReduce provides a
+// deterministic parallel aggregation framework, and Retention applies
+// kind-scoped erasure windows.
+package logstore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"manualhijack/internal/event"
+)
+
+// Store is an append-only event log. Appends must be time-ordered (the
+// simulation clock guarantees this); reads may happen concurrently with
+// each other but not with appends.
+type Store struct {
+	mu     sync.Mutex
+	events []event.Event
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Append adds a record. Records must arrive in non-decreasing time order;
+// out-of-order appends panic because they indicate a simulation bug that
+// would silently corrupt every time-windowed analysis.
+func (s *Store) Append(e event.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.events); n > 0 && e.When().Before(s.events[n-1].When()) {
+		panic("logstore: out-of-order append: " + string(e.EventKind()) +
+			" at " + e.When().String() + " after " + s.events[n-1].When().String())
+	}
+	s.events = append(s.events, e)
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Scan calls fn for every record in order.
+func (s *Store) Scan(fn func(event.Event)) {
+	for _, e := range s.snapshot() {
+		fn(e)
+	}
+}
+
+// snapshot returns the current record slice. Callers must treat it as
+// read-only.
+func (s *Store) snapshot() []event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Select returns every record of concrete type T, in order.
+func Select[T event.Event](s *Store) []T {
+	var out []T
+	s.Scan(func(e event.Event) {
+		if t, ok := e.(T); ok {
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
+// SelectWhere returns every record of type T matching pred, in order.
+func SelectWhere[T event.Event](s *Store, pred func(T) bool) []T {
+	var out []T
+	s.Scan(func(e event.Event) {
+		if t, ok := e.(T); ok && pred(t) {
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
+// Between returns records with from <= When < to, preserving order.
+func (s *Store) Between(from, to time.Time) []event.Event {
+	var out []event.Event
+	s.Scan(func(e event.Event) {
+		w := e.When()
+		if !w.Before(from) && w.Before(to) {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// Retention is a kind-scoped erasure policy: records of Kinds older than
+// Window (relative to "now") are erased. A nil Kinds slice applies to all
+// kinds.
+type Retention struct {
+	Kinds  []event.Kind
+	Window time.Duration
+}
+
+// Sanitize erases records covered by the policy that are older than
+// now-policy.Window. It returns the number of erased records. This models
+// the short retention of authentication logs that forced the paper's
+// authors to draw several datasets over only a few weeks.
+func (s *Store) Sanitize(now time.Time, policy Retention) int {
+	cutoff := now.Add(-policy.Window)
+	match := func(k event.Kind) bool {
+		if policy.Kinds == nil {
+			return true
+		}
+		for _, pk := range policy.Kinds {
+			if pk == k {
+				return true
+			}
+		}
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.events[:0]
+	erased := 0
+	for _, e := range s.events {
+		if e.When().Before(cutoff) && match(e.EventKind()) {
+			erased++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so erased records are actually unreachable.
+	for i := len(kept); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = kept
+	return erased
+}
+
+// KV is one key/value pair emitted by a mapper.
+type KV[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// MapReduce runs mapper over every record in parallel shards, groups the
+// emitted pairs by key, and reduces each key's values. Despite the
+// parallel map phase, the result is deterministic: values reach the
+// reducer in original log order.
+func MapReduce[K comparable, V any, R any](
+	s *Store,
+	mapper func(event.Event) []KV[K, V],
+	reducer func(K, []V) R,
+) map[K]R {
+	events := s.snapshot()
+	shards := runtime.GOMAXPROCS(0)
+	if shards > len(events) {
+		shards = len(events)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	type indexed struct {
+		idx int
+		kv  KV[K, V]
+	}
+	outs := make([][]indexed, shards)
+	var wg sync.WaitGroup
+	chunk := (len(events) + shards - 1) / shards
+	for sh := 0; sh < shards; sh++ {
+		lo := sh * chunk
+		hi := lo + chunk
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			var local []indexed
+			for i := lo; i < hi; i++ {
+				for _, kv := range mapper(events[i]) {
+					local = append(local, indexed{idx: i, kv: kv})
+				}
+			}
+			outs[sh] = local
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+
+	// Group by key. Shards are already internally ordered and cover
+	// disjoint ascending index ranges, so appending shard-by-shard in
+	// order preserves global log order per key.
+	groups := make(map[K][]V)
+	for _, shard := range outs {
+		for _, iv := range shard {
+			groups[iv.kv.Key] = append(groups[iv.kv.Key], iv.kv.Val)
+		}
+	}
+	result := make(map[K]R, len(groups))
+	for k, vs := range groups {
+		result[k] = reducer(k, vs)
+	}
+	return result
+}
+
+// CountBy is a MapReduce convenience that counts records by a key function
+// (key extraction returning ok=false skips the record).
+func CountBy[K comparable](s *Store, key func(event.Event) (K, bool)) map[K]int {
+	return MapReduce(s,
+		func(e event.Event) []KV[K, struct{}] {
+			if k, ok := key(e); ok {
+				return []KV[K, struct{}]{{Key: k}}
+			}
+			return nil
+		},
+		func(_ K, vs []struct{}) int { return len(vs) },
+	)
+}
+
+// KindCounts tallies records by kind (an aggregate useful for log-volume
+// sanity checks and the hijacksim binary).
+func (s *Store) KindCounts() map[event.Kind]int {
+	return CountBy(s, func(e event.Event) (event.Kind, bool) { return e.EventKind(), true })
+}
+
+// SortedKinds returns the kinds present in the store, sorted.
+func (s *Store) SortedKinds() []event.Kind {
+	counts := s.KindCounts()
+	out := make([]event.Kind, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,67 @@
+package logstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"manualhijack/internal/event"
+)
+
+// envelope is the NDJSON wire format: one object per line, tagged with
+// the record kind so Decode can pick the concrete type.
+type envelope struct {
+	Kind event.Kind      `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// WriteNDJSON streams the store as newline-delimited JSON, preserving log
+// order. The format is what cmd/hijacksim dumps and cmd/analyze reads.
+func WriteNDJSON(w io.Writer, s *Store) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	var err error
+	s.Scan(func(e event.Event) {
+		if err != nil {
+			return
+		}
+		var data []byte
+		if data, err = json.Marshal(e); err != nil {
+			return
+		}
+		err = enc.Encode(envelope{Kind: e.EventKind(), Data: data})
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON reconstructs a store from WriteNDJSON output. Records must
+// appear in time order (they do, by construction).
+func ReadNDJSON(r io.Reader) (*Store, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			return nil, fmt.Errorf("logstore: line %d: %w", line, err)
+		}
+		e, err := event.Decode(env.Kind, env.Data)
+		if err != nil {
+			return nil, fmt.Errorf("logstore: line %d: %w", line, err)
+		}
+		s.Append(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,345 @@
+package phishkit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/simtime"
+)
+
+type fixture struct {
+	clock *simtime.Clock
+	log   *logstore.Store
+	dir   *identity.Directory
+	inf   *Infrastructure
+}
+
+type sinkRecorder struct {
+	got []Credential
+}
+
+func (s *sinkRecorder) CredentialCaptured(c Credential) {
+	s.got = append(s.got, c)
+}
+
+func newFixture(t *testing.T, seed int64, accounts int) *fixture {
+	t.Helper()
+	clock := simtime.NewClock(simtime.Epoch)
+	idCfg := identity.DefaultConfig(simtime.Epoch)
+	idCfg.N = accounts
+	rng := randx.New(seed)
+	dir := identity.NewDirectory(rng, idCfg)
+	log := logstore.New()
+	inf := NewInfrastructure(clock, log, dir, geo.NewIPPlan(2), rng)
+	return &fixture{clock: clock, log: log, dir: dir, inf: inf}
+}
+
+func TestCampaignProducesTraffic(t *testing.T) {
+	f := newFixture(t, 1, 100)
+	c := DefaultCampaign(event.TargetMail, 500)
+	pid := f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(7 * 24 * time.Hour))
+
+	lures := logstore.Select[event.LureSent](f.log)
+	if len(lures) != 500 {
+		t.Fatalf("lures = %d, want 500", len(lures))
+	}
+	hits := logstore.Select[event.PageHit](f.log)
+	gets, posts := 0, 0
+	for _, h := range hits {
+		if h.Page != pid {
+			t.Fatalf("hit on unknown page %d", h.Page)
+		}
+		switch h.Method {
+		case "GET":
+			gets++
+		case "POST":
+			posts++
+		}
+	}
+	if gets == 0 || posts == 0 {
+		t.Fatalf("gets=%d posts=%d, want both > 0", gets, posts)
+	}
+	if posts > gets {
+		t.Fatalf("more POSTs (%d) than GETs (%d)", posts, gets)
+	}
+}
+
+func TestConversionBounds(t *testing.T) {
+	f := newFixture(t, 2, 10)
+	for i := 0; i < 200; i++ {
+		pid := f.inf.Launch(DefaultCampaign(event.TargetOther, 0))
+		p := f.inf.Page(pid)
+		if p.Conversion < 0.03 || p.Conversion > 0.45 {
+			t.Fatalf("conversion %.3f outside [0.03, 0.45]", p.Conversion)
+		}
+	}
+}
+
+func TestReferrersMostlyBlank(t *testing.T) {
+	f := newFixture(t, 3, 200)
+	c := DefaultCampaign(event.TargetMail, 4000)
+	c.ClickRate = 0.9
+	f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(7 * 24 * time.Hour))
+
+	blank, nonBlank := 0, 0
+	for _, h := range logstore.Select[event.PageHit](f.log) {
+		if h.Method != "GET" {
+			continue
+		}
+		if h.Referrer == "" {
+			blank++
+		} else {
+			nonBlank++
+		}
+	}
+	total := blank + nonBlank
+	if total < 1000 {
+		t.Fatalf("too few hits to judge: %d", total)
+	}
+	share := float64(blank) / float64(total)
+	if share < 0.98 {
+		t.Fatalf("blank referrer share = %.4f, want > 0.98", share)
+	}
+}
+
+func TestCredentialSinkReceivesProviderMailCreds(t *testing.T) {
+	f := newFixture(t, 4, 300)
+	sink := &sinkRecorder{}
+	c := DefaultCampaign(event.TargetMail, 3000)
+	c.Sink = sink
+	c.ProviderVictimShare = 0.5
+	c.ClickRate = 0.9
+	f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(7 * 24 * time.Hour))
+
+	if len(sink.got) == 0 {
+		t.Fatal("sink received no credentials")
+	}
+	phished := logstore.Select[event.CredentialPhished](f.log)
+	// The collector loses DropRate (~12%) of captures (§5.1).
+	delivered := float64(len(sink.got)) / float64(len(phished))
+	if delivered < 0.80 || delivered > 0.95 {
+		t.Fatalf("sink received %.2f of %d captures, want ~0.88", delivered, len(phished))
+	}
+	// Roughly 75% of captured passwords are current (§5.1).
+	good := 0
+	for _, c := range sink.got {
+		if f.dir.Get(c.Account).Password == c.Password {
+			good++
+		}
+	}
+	ratio := float64(good) / float64(len(sink.got))
+	if ratio < 0.65 || ratio > 0.85 {
+		t.Fatalf("good-password ratio = %.2f, want ~0.75", ratio)
+	}
+}
+
+func TestBankPagesDoNotFeedHijacking(t *testing.T) {
+	f := newFixture(t, 5, 300)
+	sink := &sinkRecorder{}
+	c := DefaultCampaign(event.TargetBank, 2000)
+	c.Sink = sink
+	c.ProviderVictimShare = 0.5
+	c.ClickRate = 0.9
+	f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(7 * 24 * time.Hour))
+	if len(sink.got) != 0 {
+		t.Fatalf("bank-target page fed %d provider credentials", len(sink.got))
+	}
+}
+
+func TestTakedownStopsTraffic(t *testing.T) {
+	f := newFixture(t, 6, 100)
+	c := DefaultCampaign(event.TargetMail, 2000)
+	c.ClickRate = 0.9
+	pid := f.inf.Launch(c)
+	// Take the page down one hour in.
+	f.clock.RunUntil(simtime.Epoch.Add(time.Hour))
+	f.inf.Takedown(pid)
+	takedownAt := f.clock.Now()
+	f.clock.RunUntil(simtime.Epoch.Add(7 * 24 * time.Hour))
+
+	for _, h := range logstore.Select[event.PageHit](f.log) {
+		if h.When().After(takedownAt) {
+			t.Fatalf("hit at %s after takedown at %s", h.When(), takedownAt)
+		}
+	}
+	downs := logstore.Select[event.PageTakedown](f.log)
+	if len(downs) != 1 {
+		t.Fatalf("takedown events = %d", len(downs))
+	}
+	// Takedown is idempotent.
+	f.inf.Takedown(pid)
+	if len(logstore.Select[event.PageTakedown](f.log)) != 1 {
+		t.Fatal("double takedown logged twice")
+	}
+}
+
+func TestDecoySubmission(t *testing.T) {
+	f := newFixture(t, 7, 50)
+	sink := &sinkRecorder{}
+	c := DefaultCampaign(event.TargetMail, 0)
+	c.Sink = sink
+	c.DropRate = 0 // no collector loss in this test
+	pid := f.inf.Launch(c)
+
+	if !f.inf.SubmitDecoy(pid, 1) {
+		t.Fatal("decoy submission failed")
+	}
+	if len(sink.got) != 1 || !sink.got[0].Decoy || sink.got[0].Account != 1 {
+		t.Fatalf("sink = %+v", sink.got)
+	}
+	if sink.got[0].Password != f.dir.Get(1).Password {
+		t.Fatal("decoy password should be the real one (the study controls the decoy account)")
+	}
+	// Decoy on a taken-down page fails.
+	f.inf.Takedown(pid)
+	if f.inf.SubmitDecoy(pid, 2) {
+		t.Fatal("decoy accepted on dead page")
+	}
+	// Unknown page or account fails.
+	if f.inf.SubmitDecoy(999, 1) || f.inf.SubmitDecoy(pid, 9999) {
+		t.Fatal("bad decoy accepted")
+	}
+}
+
+func TestExplicitVictimList(t *testing.T) {
+	f := newFixture(t, 8, 100)
+	targets := []identity.Address{f.dir.Get(1).Addr, f.dir.Get(2).Addr}
+	c := DefaultCampaign(event.TargetMail, 300)
+	c.Victims = targets
+	f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(3 * 24 * time.Hour))
+	for _, l := range logstore.Select[event.LureSent](f.log) {
+		if l.Victim != targets[0] && l.Victim != targets[1] {
+			t.Fatalf("lure to %s outside victim list", l.Victim)
+		}
+	}
+}
+
+func TestEduDominanceInWebVictims(t *testing.T) {
+	f := newFixture(t, 9, 10)
+	c := DefaultCampaign(event.TargetOther, 5000)
+	c.ProviderVictimShare = 0
+	f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(3 * 24 * time.Hour))
+	edu, other := 0, 0
+	for _, l := range logstore.Select[event.LureSent](f.log) {
+		if identity.TLD(l.Victim) == "edu" {
+			edu++
+		} else {
+			other++
+		}
+	}
+	share := float64(edu) / float64(edu+other)
+	if share < 0.70 {
+		t.Fatalf("edu share = %.3f, want edu-dominant (> 0.70)", share)
+	}
+}
+
+func TestURLlessLures(t *testing.T) {
+	f := newFixture(t, 10, 50)
+	c := DefaultCampaign(event.TargetMail, 200)
+	c.HasURL = false
+	f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(2 * 24 * time.Hour))
+	for _, l := range logstore.Select[event.LureSent](f.log) {
+		if l.HasURL || l.Page != 0 {
+			t.Fatalf("URL-less campaign produced lure %+v", l)
+		}
+	}
+}
+
+func TestOutlierQuietPeriod(t *testing.T) {
+	f := newFixture(t, 11, 200)
+	c := DefaultCampaign(event.TargetMail, 3000)
+	c.Outlier = true
+	c.ClickRate = 0.9
+	pid := f.inf.Launch(c)
+	f.clock.RunUntil(simtime.Epoch.Add(8 * 24 * time.Hour))
+
+	early, late := 0, 0
+	for _, h := range logstore.Select[event.PageHit](f.log) {
+		if h.Page != pid || h.Method != "GET" {
+			continue
+		}
+		if h.When().Sub(simtime.Epoch) < 15*time.Hour {
+			early++
+		} else {
+			late++
+		}
+	}
+	if early > 10 {
+		t.Fatalf("quiet period has %d hits, want only a few test hits", early)
+	}
+	if late < 100 {
+		t.Fatalf("post-step volume = %d, want large", late)
+	}
+}
+
+func TestTargetMixes(t *testing.T) {
+	r := randx.New(12)
+	mix := DefaultEmailTargetMix()
+	var mailShare int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if mix.Choose(r) == event.TargetMail {
+			mailShare++
+		}
+	}
+	got := float64(mailShare) / n
+	if got < 0.32 || got > 0.38 {
+		t.Fatalf("email-mix mail share = %.3f, want ~0.35", got)
+	}
+}
+
+// Property: per page, POSTs never exceed GETs, and no hit lands after the
+// page's takedown — for arbitrary campaign shapes.
+func TestPageHitInvariantsProperty(t *testing.T) {
+	f := newFixture(t, 20, 150)
+	prop := func(lures uint16, clickPct, convPct uint8) bool {
+		c := DefaultCampaign(event.TargetMail, int(lures%800))
+		c.ClickRate = float64(clickPct%100) / 100
+		c.Conversion = 0.01 + float64(convPct%45)/100
+		pid := f.inf.Launch(c)
+		f.clock.RunUntil(f.clock.Now().Add(5 * 24 * time.Hour))
+
+		gets, posts := 0, 0
+		var lastHit, takedown time.Time
+		for _, h := range logstore.Select[event.PageHit](f.log) {
+			if h.Page != pid {
+				continue
+			}
+			switch h.Method {
+			case "GET":
+				gets++
+			case "POST":
+				posts++
+			}
+			lastHit = h.When()
+		}
+		for _, d := range logstore.Select[event.PageTakedown](f.log) {
+			if d.Page == pid {
+				takedown = d.When()
+			}
+		}
+		if posts > gets {
+			return false
+		}
+		if !takedown.IsZero() && lastHit.After(takedown) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package recovery implements the account-recovery workflow of §6: claim
+// filing, ownership verification over SMS / secondary email / fallback
+// (knowledge tests, manual review), and the remission step that reverts
+// hijacker changes (restoring deleted content, clearing hijacker-added
+// settings, resetting the password).
+//
+// The method success models are decomposed the way the paper explains the
+// failures: SMS fails on unreliable gateways and confused users; email
+// fails on mistyped (bouncing) addresses and is not offered at all when
+// the secondary address shows signs of having been recycled by its
+// upstream provider; the fallback options have a poor success rate by
+// nature (§6.3).
+package recovery
+
+import (
+	"fmt"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/mail"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/simtime"
+)
+
+// Config tunes the recovery pipeline.
+type Config struct {
+	// SMSGatewayRate is the chance the verification SMS arrives;
+	// SMSCompletionRate the chance the user finishes the flow.
+	// 0.93 × 0.87 ≈ the paper's 80.91% end-to-end SMS success.
+	SMSGatewayRate    float64
+	SMSCompletionRate float64
+	// EmailCompletionRate is the success chance when the recovery email is
+	// deliverable; mistyped addresses bounce (~5% of attempts) and
+	// recycled addresses are never offered. 0.95 × 0.785 ≈ 74.57%.
+	EmailCompletionRate float64
+	// FallbackSuccessRate covers secret questions, knowledge tests, and
+	// manual review (paper: 14.20%).
+	FallbackSuccessRate float64
+	// Processing delays per method (means of exponential draws).
+	SMSDelay      time.Duration
+	EmailDelay    time.Duration
+	FallbackDelay time.Duration
+	// RestoreEnabled turns on content restoration during remission — the
+	// defense added between the 2011 and 2012 observation windows that
+	// made hijacker mass-deletion pointless (§5.4).
+	RestoreEnabled bool
+	// FallbackLastResortOnly withholds the knowledge-test fallback from
+	// claims on accounts that have stronger options on file — §6.3's
+	// stance ("we only offer the ability to recover an account via
+	// security questions under certain limited circumstances"), which is
+	// what keeps impostors from routing around SMS verification. When
+	// false, a claimant who fails the stronger methods still gets the
+	// knowledge test.
+	FallbackLastResortOnly bool
+	// FraudGuessRate is an impostor's chance of passing the knowledge
+	// fallback by researching the victim (§6.3 cites Schechter et al. on
+	// guessable answers).
+	FraudGuessRate float64
+}
+
+// DefaultConfig returns the post-2012 configuration.
+func DefaultConfig() Config {
+	return Config{
+		SMSGatewayRate:         0.93,
+		SMSCompletionRate:      0.87,
+		EmailCompletionRate:    0.785,
+		FallbackSuccessRate:    0.142,
+		SMSDelay:               40 * time.Minute,
+		EmailDelay:             3 * time.Hour,
+		FallbackDelay:          40 * time.Hour,
+		RestoreEnabled:         true,
+		FallbackLastResortOnly: true,
+		FraudGuessRate:         0.17,
+	}
+}
+
+// Config2011 returns the 2011-era configuration (no content restore).
+func Config2011() Config {
+	c := DefaultConfig()
+	c.RestoreEnabled = false
+	return c
+}
+
+// Service processes recovery claims.
+type Service struct {
+	cfg   Config
+	clock *simtime.Clock
+	log   *logstore.Store
+	rng   *randx.Rand
+	dir   *identity.Directory
+	auth  *auth.Service
+	mail  *mail.Service
+
+	// OnRecovered is called after a successful recovery with the fresh
+	// password (the victim agent updates what the owner "knows").
+	OnRecovered func(acct identity.AccountID, newPassword string)
+	// OnFraudSuccess is called when an impostor's claim succeeds: the
+	// account was handed to the hijacker (§6.3's nightmare case).
+	OnFraudSuccess func(acct identity.AccountID, newPassword string)
+
+	pending map[identity.AccountID]bool
+
+	// Counters for calibration and tests.
+	Filed          int
+	Succeeded      int
+	Failed         int
+	FraudSucceeded int
+}
+
+// NewService assembles the recovery pipeline.
+func NewService(
+	cfg Config,
+	clock *simtime.Clock,
+	log *logstore.Store,
+	rng *randx.Rand,
+	dir *identity.Directory,
+	authSvc *auth.Service,
+	mailSvc *mail.Service,
+) *Service {
+	return &Service{
+		cfg: cfg, clock: clock, log: log, rng: rng.Fork("recovery"),
+		dir: dir, auth: authSvc, mail: mailSvc,
+		pending: make(map[identity.AccountID]bool),
+	}
+}
+
+// FileClaim starts a recovery claim by the rightful owner. trigger
+// records what alerted the user ("notification", "lockout", "noticed",
+// "suspended"); hijackedAt and flaggedAt carry the latency-measurement
+// anchors (§6.2). Duplicate claims for an account already in flight are
+// ignored.
+func (s *Service) FileClaim(acct identity.AccountID, trigger string, hijackedAt, flaggedAt time.Time) {
+	a := s.dir.Get(acct)
+	if a == nil || s.pending[acct] {
+		return
+	}
+	s.pending[acct] = true
+	s.Filed++
+	now := s.clock.Now()
+	s.log.Append(event.ClaimFiled{
+		Base: event.Base{Time: now}, Account: acct, Trigger: trigger,
+		HijackedAt: hijackedAt, Actor: event.ActorOwner,
+	})
+	s.tryMethods(claimCtx{acct: acct, actor: event.ActorOwner, hijackedAt: hijackedAt, flaggedAt: flaggedAt},
+		s.methodsFor(a))
+}
+
+// FileFraudClaim is an impostor's recovery attempt (§6.3): the claimant
+// cannot receive the SMS or the recovery email, so everything rides on
+// whether the knowledge fallback is offered and guessed. onSuccess (may
+// be nil) receives the fresh password when the impostor wins the account.
+func (s *Service) FileFraudClaim(acct identity.AccountID, onSuccess func(newPassword string)) {
+	a := s.dir.Get(acct)
+	if a == nil || s.pending[acct] {
+		return
+	}
+	s.pending[acct] = true
+	now := s.clock.Now()
+	s.log.Append(event.ClaimFiled{
+		Base: event.Base{Time: now}, Account: acct, Trigger: "fraud",
+		HijackedAt: now, Actor: event.ActorHijacker,
+	})
+	s.tryMethods(claimCtx{
+		acct: acct, actor: event.ActorHijacker,
+		hijackedAt: now, flaggedAt: now, onFraud: onSuccess,
+	}, s.methodsFor(a))
+}
+
+// claimCtx threads one claim's identity and anchors through the attempt
+// chain.
+type claimCtx struct {
+	acct       identity.AccountID
+	actor      event.Actor
+	hijackedAt time.Time
+	flaggedAt  time.Time
+	onFraud    func(newPassword string)
+}
+
+// methodsFor returns the verification methods offered, in preference
+// order. A recycled secondary email is not offered at all ("we do not
+// offer this option if there is any indication that the secondary email
+// address has been recycled"), and under the last-resort policy the
+// knowledge fallback is withheld when stronger options exist.
+func (s *Service) methodsFor(a *identity.Account) []event.RecoveryMethod {
+	var out []event.RecoveryMethod
+	if a.Phone != "" {
+		out = append(out, event.MethodSMS)
+	}
+	if a.SecondaryEmail != "" && !a.SecondaryRecycled {
+		out = append(out, event.MethodEmail)
+	}
+	if len(out) == 0 || !s.cfg.FallbackLastResortOnly {
+		out = append(out, event.MethodFallback)
+	}
+	return out
+}
+
+// tryMethods schedules the next verification attempt; on failure it falls
+// through to the next offered method.
+func (s *Service) tryMethods(c claimCtx, methods []event.RecoveryMethod) {
+	if len(methods) == 0 {
+		s.resolve(c, false, "")
+		return
+	}
+	m := methods[0]
+	delay := s.rng.ExpDuration(s.delayFor(m))
+	s.clock.After(delay, func() {
+		success, reason := s.attempt(c, m)
+		s.log.Append(event.ClaimAttempt{
+			Base: event.Base{Time: s.clock.Now()}, Account: c.acct,
+			Method: m, Success: success, Reason: reason, Actor: c.actor,
+		})
+		if success {
+			s.resolve(c, true, m)
+			return
+		}
+		s.tryMethods(c, methods[1:])
+	})
+}
+
+func (s *Service) delayFor(m event.RecoveryMethod) time.Duration {
+	switch m {
+	case event.MethodSMS:
+		return s.cfg.SMSDelay
+	case event.MethodEmail:
+		return s.cfg.EmailDelay
+	default:
+		return s.cfg.FallbackDelay
+	}
+}
+
+// attempt draws one verification outcome.
+func (s *Service) attempt(c claimCtx, m event.RecoveryMethod) (bool, string) {
+	a := s.dir.Get(c.acct)
+	if c.actor == event.ActorHijacker {
+		// The impostor controls neither the phone nor the secondary
+		// mailbox; only the knowledge test is guessable.
+		if m != event.MethodFallback {
+			return false, "not_claimant"
+		}
+		return s.rng.Bool(s.cfg.FraudGuessRate), "guess"
+	}
+	switch m {
+	case event.MethodSMS:
+		if !s.rng.Bool(s.cfg.SMSGatewayRate) {
+			return false, "gateway"
+		}
+		if !s.rng.Bool(s.cfg.SMSCompletionRate) {
+			return false, "user"
+		}
+		return true, ""
+	case event.MethodEmail:
+		if a.SecondaryTypo {
+			return false, "bounce"
+		}
+		if !s.rng.Bool(s.cfg.EmailCompletionRate) {
+			return false, "stale"
+		}
+		return true, ""
+	default:
+		if !s.rng.Bool(s.cfg.FallbackSuccessRate) {
+			return false, "failed_verification"
+		}
+		return true, ""
+	}
+}
+
+// resolve finishes the claim; on success it runs remission (or, for a
+// successful impostor, hands the account over).
+func (s *Service) resolve(c claimCtx, success bool, m event.RecoveryMethod) {
+	delete(s.pending, c.acct)
+	now := s.clock.Now()
+	s.log.Append(event.ClaimResolved{
+		Base: event.Base{Time: now}, Account: c.acct, Success: success,
+		Method: m, HijackedAt: c.hijackedAt, FlaggedAt: c.flaggedAt,
+		Actor: c.actor,
+	})
+	if !success {
+		s.Failed++
+		return
+	}
+	if c.actor == event.ActorHijacker {
+		s.FraudSucceeded++
+		newPassword := fmt.Sprintf("stolen-recovery-%d-%06d", c.acct, s.rng.Intn(1_000_000))
+		s.auth.ResetForRecovery(c.acct, newPassword)
+		if c.onFraud != nil {
+			c.onFraud(newPassword)
+		}
+		if s.OnFraudSuccess != nil {
+			s.OnFraudSuccess(c.acct, newPassword)
+		}
+		return
+	}
+	s.Succeeded++
+	s.remission(c.acct)
+}
+
+// remission reverts hijacker changes: fresh password, 2SV lockout cleared,
+// hijacker settings removed, and (when enabled) deleted content restored
+// (§6.4). Content recovery is an optional last step in the real flow; the
+// model applies it whenever enabled.
+func (s *Service) remission(acct identity.AccountID) {
+	newPassword := fmt.Sprintf("recovered-%d-%06d", acct, s.rng.Intn(1_000_000))
+	s.auth.ResetForRecovery(acct, newPassword)
+	restored, cleared := 0, false
+	if s.cfg.RestoreEnabled {
+		restored, cleared = s.mail.Restore(acct)
+	}
+	s.log.Append(event.Remission{
+		Base: event.Base{Time: s.clock.Now()}, Account: acct,
+		RestoredMessages: restored, ClearedSettings: cleared,
+	})
+	if s.OnRecovered != nil {
+		s.OnRecovered(acct, newPassword)
+	}
+}

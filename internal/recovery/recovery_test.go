@@ -1,0 +1,343 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/mail"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/simtime"
+)
+
+type fixture struct {
+	clock *simtime.Clock
+	log   *logstore.Store
+	dir   *identity.Directory
+	mail  *mail.Service
+	auth  *auth.Service
+	svc   *Service
+}
+
+func newFixture(t *testing.T, seed int64, n int, cfg Config) *fixture {
+	t.Helper()
+	clock := simtime.NewClock(simtime.Epoch)
+	rng := randx.New(seed)
+	idCfg := identity.DefaultConfig(simtime.Epoch)
+	idCfg.N = n
+	dir := identity.NewDirectory(rng, idCfg)
+	log := logstore.New()
+	mailSvc := mail.NewService(dir, clock, log)
+	authSvc := auth.NewService(dir, clock, log, nil, nil, auth.Config{})
+	svc := NewService(cfg, clock, log, rng, dir, authSvc, mailSvc)
+	return &fixture{clock: clock, log: log, dir: dir, mail: mailSvc, auth: authSvc, svc: svc}
+}
+
+func (f *fixture) run(d time.Duration) { f.clock.RunUntil(f.clock.Now().Add(d)) }
+
+func TestClaimWithPhoneTriesSMSFirst(t *testing.T) {
+	f := newFixture(t, 1, 50, DefaultConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	f.svc.FileClaim(a.ID, "lockout", simtime.Epoch, simtime.Epoch)
+	f.run(10 * 24 * time.Hour)
+
+	attempts := logstore.Select[event.ClaimAttempt](f.log)
+	if len(attempts) == 0 || attempts[0].Method != event.MethodSMS {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	resolved := logstore.Select[event.ClaimResolved](f.log)
+	if len(resolved) != 1 {
+		t.Fatalf("resolved = %d", len(resolved))
+	}
+}
+
+func TestRecycledEmailNotOffered(t *testing.T) {
+	f := newFixture(t, 2, 200, DefaultConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone == "" && x.SecondaryEmail != "" && x.SecondaryRecycled {
+			a = x
+		}
+	})
+	if a == nil {
+		t.Skip("no phone-less recycled-secondary account in fixture")
+	}
+	f.svc.FileClaim(a.ID, "lockout", simtime.Epoch, simtime.Epoch)
+	f.run(20 * 24 * time.Hour)
+	for _, at := range logstore.Select[event.ClaimAttempt](f.log) {
+		if at.Method == event.MethodEmail {
+			t.Fatal("recycled secondary email was offered")
+		}
+	}
+}
+
+func TestTypoEmailBounces(t *testing.T) {
+	f := newFixture(t, 3, 400, DefaultConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone == "" && x.SecondaryTypo {
+			a = x
+		}
+	})
+	if a == nil {
+		t.Skip("no typo account in fixture")
+	}
+	f.svc.FileClaim(a.ID, "lockout", simtime.Epoch, simtime.Epoch)
+	f.run(30 * 24 * time.Hour)
+	found := false
+	for _, at := range logstore.Select[event.ClaimAttempt](f.log) {
+		if at.Method == event.MethodEmail {
+			found = true
+			if at.Success || at.Reason != "bounce" {
+				t.Fatalf("typo email attempt = %+v", at)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("email never attempted")
+	}
+}
+
+func TestMethodSuccessRates(t *testing.T) {
+	// Run many claims and check the measured per-method success rates
+	// against Figure 10: SMS 80.91%, Email 74.57%, Fallback 14.20%.
+	f := newFixture(t, 4, 5000, DefaultConfig())
+	f.dir.All(func(a *identity.Account) {
+		f.svc.FileClaim(a.ID, "lockout", simtime.Epoch, simtime.Epoch)
+	})
+	f.run(90 * 24 * time.Hour)
+
+	counts := map[event.RecoveryMethod][2]int{} // [attempts, successes]
+	for _, at := range logstore.Select[event.ClaimAttempt](f.log) {
+		c := counts[at.Method]
+		c[0]++
+		if at.Success {
+			c[1]++
+		}
+		counts[at.Method] = c
+	}
+	check := func(m event.RecoveryMethod, want, tol float64) {
+		c := counts[m]
+		if c[0] == 0 {
+			t.Fatalf("no %s attempts", m)
+		}
+		rate := float64(c[1]) / float64(c[0])
+		if rate < want-tol || rate > want+tol {
+			t.Errorf("%s success = %.4f (n=%d), want %.4f±%.2f", m, rate, c[0], want, tol)
+		}
+	}
+	check(event.MethodSMS, 0.8091, 0.03)
+	check(event.MethodEmail, 0.7457, 0.04)
+	check(event.MethodFallback, 0.1420, 0.03)
+}
+
+func TestFallbackChainAndFailure(t *testing.T) {
+	f := newFixture(t, 5, 500, DefaultConfig())
+	// An account with no options at all gets only the fallback.
+	var bare *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if bare == nil && x.Phone == "" && x.SecondaryEmail == "" {
+			bare = x
+		}
+	})
+	if bare == nil {
+		t.Skip("no bare account")
+	}
+	f.svc.FileClaim(bare.ID, "noticed", simtime.Epoch, simtime.Epoch)
+	f.run(60 * 24 * time.Hour)
+	attempts := logstore.Select[event.ClaimAttempt](f.log)
+	if len(attempts) != 1 || attempts[0].Method != event.MethodFallback {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	resolved := logstore.Select[event.ClaimResolved](f.log)
+	if len(resolved) != 1 {
+		t.Fatalf("resolved = %d", len(resolved))
+	}
+	if resolved[0].Success != attempts[0].Success {
+		t.Fatal("resolution disagrees with the only attempt")
+	}
+}
+
+func TestRemissionRestoresAndResets(t *testing.T) {
+	f := newFixture(t, 6, 50, DefaultConfig())
+	f.mail.Seed(randx.New(6), mail.DefaultSeedConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	oldPassword := a.Password
+	// Simulate hijacker damage.
+	f.mail.MassDelete(a.ID, 1, event.ActorHijacker)
+	f.mail.SetReplyTo(a.ID, "doppel@evil.test", 1, event.ActorHijacker)
+	f.auth.ChangePassword(a.ID, "stolen", 1, event.ActorHijacker)
+	f.auth.Enroll2SV(a.ID, "+2348000000000", 1, event.ActorHijacker)
+
+	var recoveredPassword string
+	f.svc.OnRecovered = func(id identity.AccountID, pw string) { recoveredPassword = pw }
+
+	// Keep filing until a successful recovery (SMS succeeds ~81%).
+	for i := 0; i < 10 && recoveredPassword == ""; i++ {
+		f.svc.FileClaim(a.ID, "lockout", f.clock.Now(), f.clock.Now())
+		f.run(10 * 24 * time.Hour)
+	}
+	if recoveredPassword == "" {
+		t.Fatal("no successful recovery in 10 tries")
+	}
+	if a.Password == "stolen" || a.Password == oldPassword {
+		t.Fatal("password not freshly reset")
+	}
+	if a.TwoSV || a.LockedByPhone {
+		t.Fatal("hijacker 2SV survived")
+	}
+	if f.mail.Mailbox(a.ID).Len() == 0 {
+		t.Fatal("content not restored")
+	}
+	if f.mail.Mailbox(a.ID).ReplyTo != "" {
+		t.Fatal("hijacker Reply-To survived")
+	}
+	rem := logstore.Select[event.Remission](f.log)
+	if len(rem) == 0 || rem[0].RestoredMessages == 0 {
+		t.Fatalf("remission events = %+v", rem)
+	}
+}
+
+func TestNoRestoreIn2011Era(t *testing.T) {
+	f := newFixture(t, 7, 50, Config2011())
+	f.mail.Seed(randx.New(7), mail.DefaultSeedConfig())
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	f.mail.MassDelete(a.ID, 1, event.ActorHijacker)
+	done := false
+	f.svc.OnRecovered = func(identity.AccountID, string) { done = true }
+	for i := 0; i < 10 && !done; i++ {
+		f.svc.FileClaim(a.ID, "lockout", f.clock.Now(), f.clock.Now())
+		f.run(10 * 24 * time.Hour)
+	}
+	if !done {
+		t.Fatal("no successful recovery")
+	}
+	if f.mail.Mailbox(a.ID).Len() != 0 {
+		t.Fatal("2011-era recovery restored content")
+	}
+}
+
+func TestDuplicateClaimsIgnored(t *testing.T) {
+	f := newFixture(t, 8, 20, DefaultConfig())
+	a := f.dir.Get(1)
+	f.svc.FileClaim(a.ID, "lockout", simtime.Epoch, simtime.Epoch)
+	f.svc.FileClaim(a.ID, "notification", simtime.Epoch, simtime.Epoch)
+	f.run(30 * 24 * time.Hour)
+	filed := logstore.Select[event.ClaimFiled](f.log)
+	if len(filed) != 1 {
+		t.Fatalf("filed = %d, want 1", len(filed))
+	}
+}
+
+func TestLatencyAnchorsCarried(t *testing.T) {
+	f := newFixture(t, 9, 50, DefaultConfig())
+	hijackedAt := simtime.Epoch.Add(-2 * time.Hour)
+	flaggedAt := simtime.Epoch.Add(-time.Hour)
+	a := f.dir.Get(1)
+	f.svc.FileClaim(a.ID, "notification", hijackedAt, flaggedAt)
+	f.run(30 * 24 * time.Hour)
+	resolved := logstore.Select[event.ClaimResolved](f.log)
+	if len(resolved) != 1 {
+		t.Fatalf("resolved = %d", len(resolved))
+	}
+	if !resolved[0].HijackedAt.Equal(hijackedAt) || !resolved[0].FlaggedAt.Equal(flaggedAt) {
+		t.Fatalf("anchors = %+v", resolved[0])
+	}
+}
+
+func TestFraudClaimBlockedByLastResortPolicy(t *testing.T) {
+	f := newFixture(t, 10, 200, DefaultConfig())
+	// Pick an account with a phone on file: under the last-resort policy
+	// the impostor never reaches the knowledge test.
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	won := false
+	f.svc.FileFraudClaim(a.ID, func(string) { won = true })
+	f.run(30 * 24 * time.Hour)
+	if won {
+		t.Fatal("impostor won an account that has a phone on file")
+	}
+	resolved := logstore.Select[event.ClaimResolved](f.log)
+	if len(resolved) != 1 || resolved[0].Success || resolved[0].Actor != event.ActorHijacker {
+		t.Fatalf("resolved = %+v", resolved)
+	}
+	// No attempt may have touched the fallback.
+	for _, at := range logstore.Select[event.ClaimAttempt](f.log) {
+		if at.Method == event.MethodFallback {
+			t.Fatal("fallback offered despite stronger options on file")
+		}
+		if at.Success {
+			t.Fatalf("impostor passed %s", at.Method)
+		}
+	}
+}
+
+func TestFraudClaimCanGuessFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FraudGuessRate = 1 // force the guess for determinism
+	f := newFixture(t, 11, 400, cfg)
+	// A bare account (no options) exposes the knowledge fallback.
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone == "" && x.SecondaryEmail == "" {
+			a = x
+		}
+	})
+	if a == nil {
+		t.Skip("no bare account in fixture")
+	}
+	oldPassword := a.Password
+	var got string
+	f.svc.FileFraudClaim(a.ID, func(pw string) { got = pw })
+	f.run(30 * 24 * time.Hour)
+	if got == "" {
+		t.Fatal("impostor with guaranteed guess did not win")
+	}
+	if a.Password == oldPassword || a.Password != got {
+		t.Fatal("account password not handed to the impostor")
+	}
+	if f.svc.FraudSucceeded != 1 {
+		t.Fatalf("fraud counter = %d", f.svc.FraudSucceeded)
+	}
+}
+
+func TestUnrestrictedFallbackEnablesFraud(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FallbackLastResortOnly = false
+	cfg.FraudGuessRate = 1
+	f := newFixture(t, 12, 100, cfg)
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	won := false
+	f.svc.FileFraudClaim(a.ID, func(string) { won = true })
+	f.run(30 * 24 * time.Hour)
+	if !won {
+		t.Fatal("with an unrestricted fallback the impostor should win a phone-bearing account")
+	}
+}

@@ -1,0 +1,138 @@
+// Package report renders the study's tables and figures as text: aligned
+// tables, ASCII bar charts and time series, and the paper-vs-measured
+// comparison the EXPERIMENTS.md workflow is built on.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"manualhijack/internal/stats"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}
+
+// Bars renders entries as a labeled ASCII bar chart of shares.
+func Bars(w io.Writer, title string, entries []stats.Entry, maxRows int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	if maxRows > 0 && len(entries) > maxRows {
+		entries = entries[:maxRows]
+	}
+	labelW := 0
+	for _, e := range entries {
+		if len([]rune(e.Key)) > labelW {
+			labelW = len([]rune(e.Key))
+		}
+	}
+	for _, e := range entries {
+		bar := strings.Repeat("#", int(e.Share*50+0.5))
+		fmt.Fprintf(w, "  %s %6.2f%% %s\n", pad(e.Key, labelW), e.Share*100, bar)
+	}
+}
+
+// Series renders an int series as a compact sparkline-style row plus its
+// peak annotation.
+func Series(w io.Writer, title string, counts []int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	if len(counts) == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	levels := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	for _, c := range counts {
+		idx := 0
+		if peak > 0 {
+			idx = c * (len(levels) - 1) / peak
+		}
+		b.WriteRune(levels[idx])
+	}
+	fmt.Fprintf(w, "  [%s] peak=%d buckets=%d\n", b.String(), peak, len(counts))
+}
+
+// SeriesFloat renders a float series.
+func SeriesFloat(w io.Writer, title string, vals []float64) {
+	ints := make([]int, len(vals))
+	for i, v := range vals {
+		ints[i] = int(v*100 + 0.5)
+	}
+	Series(w, title, ints)
+}
+
+// Compare is one paper-vs-measured row.
+type Compare struct {
+	Artifact string
+	Metric   string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// CompareTable renders the paper-vs-measured comparison.
+func CompareTable(w io.Writer, title string, rows []Compare) {
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{r.Artifact, r.Metric, r.Paper, r.Measured, r.Note})
+	}
+	Table(w, title, []string{"artifact", "metric", "paper", "measured", "note"}, table)
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Pct2 formats a fraction as a percentage with two decimals.
+func Pct2(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// F formats a float compactly.
+func F(f float64) string { return fmt.Sprintf("%.2f", f) }

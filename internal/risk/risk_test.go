@@ -1,0 +1,139 @@
+package risk
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/randx"
+)
+
+var t0 = time.Date(2012, 11, 1, 12, 0, 0, 0, time.UTC)
+
+func newAnalyzer() (*Analyzer, *geo.IPPlan, *randx.Rand) {
+	plan := geo.NewIPPlan(4)
+	return NewAnalyzer(plan, DefaultWeights()), plan, randx.New(1)
+}
+
+func TestHomeLoginScoresLow(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	a.PrimeAccount(1, geo.US, "dev-1")
+	att := Attempt{Account: 1, IP: plan.Addr(r, geo.US), DeviceID: "dev-1", At: t0, PasswordOK: true}
+	if score := a.Score(att); score > 0.1 {
+		t.Fatalf("home login score = %.2f, want ~0", score)
+	}
+}
+
+func TestForeignNewDeviceScoresHigh(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	a.PrimeAccount(1, geo.US, "dev-1")
+	att := Attempt{Account: 1, IP: plan.Addr(r, geo.Nigeria), DeviceID: "dev-x", At: t0, PasswordOK: true}
+	score := a.Score(att)
+	if score < 0.5 {
+		t.Fatalf("hijacker-shaped login score = %.2f, want >= 0.5", score)
+	}
+	sig := a.Extract(att)
+	if !sig.NewCountry || !sig.NewDevice {
+		t.Fatalf("signals = %+v", sig)
+	}
+}
+
+func TestImpossibleHop(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	a.PrimeAccount(1, geo.US, "dev-1")
+	// Legitimate login from home.
+	home := Attempt{Account: 1, IP: plan.Addr(r, geo.US), DeviceID: "dev-1", At: t0, PasswordOK: true}
+	a.RecordOutcome(home, true)
+	// Two hours later from China: impossible hop.
+	att := Attempt{Account: 1, IP: plan.Addr(r, geo.China), DeviceID: "dev-1", At: t0.Add(2 * time.Hour)}
+	if sig := a.Extract(att); !sig.ImpossibleHop {
+		t.Fatal("hop within velocity window not flagged")
+	}
+	// Ten hours later: outside the window.
+	att.At = t0.Add(10 * time.Hour)
+	if sig := a.Extract(att); sig.ImpossibleHop {
+		t.Fatal("slow hop wrongly flagged")
+	}
+}
+
+func TestIPFanoutSignal(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	ip := plan.Addr(r, geo.Malaysia)
+	// Nine distinct accounts log in from the IP today.
+	for i := 1; i <= 9; i++ {
+		att := Attempt{Account: identity.AccountID(i), IP: ip, At: t0.Add(time.Duration(i) * time.Minute), PasswordOK: true}
+		a.RecordOutcome(att, true)
+	}
+	att := Attempt{Account: 100, IP: ip, At: t0.Add(time.Hour)}
+	sig := a.Extract(att)
+	if sig.IPFanout < 0.99 {
+		t.Fatalf("fanout = %.2f, want ~1.0 at 10 accounts", sig.IPFanout)
+	}
+	// Next day the counter resets.
+	att.At = t0.Add(25 * time.Hour)
+	if sig := a.Extract(att); sig.IPFanout != 0 {
+		t.Fatalf("fanout next day = %.2f, want 0", sig.IPFanout)
+	}
+}
+
+func TestFailureSignalDecays(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	ip := plan.Addr(r, geo.US)
+	for i := 0; i < 3; i++ {
+		att := Attempt{Account: 1, IP: ip, At: t0.Add(time.Duration(i) * time.Minute)}
+		a.RecordOutcome(att, false)
+	}
+	att := Attempt{Account: 1, IP: ip, At: t0.Add(5 * time.Minute)}
+	if sig := a.Extract(att); sig.RecentFailures < 0.99 {
+		t.Fatalf("failures = %.2f, want 1.0", sig.RecentFailures)
+	}
+	att.At = t0.Add(2 * time.Hour)
+	if sig := a.Extract(att); sig.RecentFailures != 0 {
+		t.Fatalf("failures after window = %.2f, want 0", sig.RecentFailures)
+	}
+}
+
+func TestSuccessAbsorbsCountry(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	a.PrimeAccount(1, geo.US, "dev-1")
+	ip := plan.Addr(r, geo.France)
+	att := Attempt{Account: 1, IP: ip, DeviceID: "dev-1", At: t0, PasswordOK: true}
+	if !a.Extract(att).NewCountry {
+		t.Fatal("France should be new at first")
+	}
+	a.RecordOutcome(att, true)
+	att.At = t0.Add(24 * time.Hour)
+	if a.Extract(att).NewCountry {
+		t.Fatal("France should be absorbed after a successful login")
+	}
+}
+
+func TestFailureDoesNotAbsorbCountry(t *testing.T) {
+	a, plan, r := newAnalyzer()
+	a.PrimeAccount(1, geo.US, "dev-1")
+	ip := plan.Addr(r, geo.China)
+	att := Attempt{Account: 1, IP: ip, At: t0}
+	a.RecordOutcome(att, false)
+	att.At = t0.Add(time.Hour)
+	if !a.Extract(att).NewCountry {
+		t.Fatal("failed login must not whitelist the country")
+	}
+}
+
+func TestScoreClamped(t *testing.T) {
+	w := Weights{NewCountry: 1, ImpossibleHop: 1, NewDevice: 1, IPFanout: 1, RecentFailures: 1}
+	s := Signals{NewCountry: true, ImpossibleHop: true, NewDevice: true, IPFanout: 1, RecentFailures: 1}
+	if got := w.Combine(s); got != 1 {
+		t.Fatalf("score = %v, want clamped to 1", got)
+	}
+}
+
+func TestAblationZeroWeight(t *testing.T) {
+	w := DefaultWeights()
+	w.NewCountry = 0
+	s := Signals{NewCountry: true}
+	if got := w.Combine(s); got != 0 {
+		t.Fatalf("ablated signal still contributes: %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package safebrowsing
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/phishkit"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/simtime"
+)
+
+func newWorld(seed int64) (*simtime.Clock, *logstore.Store, *phishkit.Infrastructure, *Pipeline) {
+	clock := simtime.NewClock(simtime.Epoch)
+	rng := randx.New(seed)
+	idCfg := identity.DefaultConfig(simtime.Epoch)
+	idCfg.N = 20
+	dir := identity.NewDirectory(rng, idCfg)
+	log := logstore.New()
+	inf := phishkit.NewInfrastructure(clock, log, dir, geo.NewIPPlan(2), rng)
+	p := NewPipeline(DefaultConfig(), clock, log, inf, rng)
+	inf.SetDetector(p)
+	return clock, log, inf, p
+}
+
+func TestPagesEventuallyDetectedAndTakenDown(t *testing.T) {
+	clock, log, inf, pipe := newWorld(1)
+	const pages = 100
+	for i := 0; i < pages; i++ {
+		inf.Launch(phishkit.DefaultCampaign(event.TargetMail, 0))
+	}
+	clock.RunUntil(simtime.Epoch.Add(60 * 24 * time.Hour))
+
+	if pipe.Detected() != pages {
+		t.Fatalf("detected = %d, want all %d", pipe.Detected(), pages)
+	}
+	if n := len(logstore.Select[event.PageDetected](log)); n != pages {
+		t.Fatalf("detection events = %d", n)
+	}
+	downs := logstore.Select[event.PageTakedown](log)
+	if len(downs) != pages {
+		t.Fatalf("takedowns = %d", len(downs))
+	}
+}
+
+func TestDetectionFollowsCreationWithSpread(t *testing.T) {
+	clock, log, inf, _ := newWorld(2)
+	const pages = 300
+	for i := 0; i < pages; i++ {
+		inf.Launch(phishkit.DefaultCampaign(event.TargetOther, 0))
+	}
+	clock.RunUntil(simtime.Epoch.Add(120 * 24 * time.Hour))
+
+	var fast, slow int
+	for _, d := range logstore.Select[event.PageDetected](log) {
+		life := d.When().Sub(simtime.Epoch)
+		if life < 12*time.Hour {
+			fast++
+		}
+		if life > 72*time.Hour {
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("lifetime spread missing: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestTakedownAfterDetection(t *testing.T) {
+	clock, log, inf, _ := newWorld(3)
+	inf.Launch(phishkit.DefaultCampaign(event.TargetMail, 0))
+	clock.RunUntil(simtime.Epoch.Add(60 * 24 * time.Hour))
+
+	det := logstore.Select[event.PageDetected](log)
+	down := logstore.Select[event.PageTakedown](log)
+	if len(det) != 1 || len(down) != 1 {
+		t.Fatalf("det=%d down=%d", len(det), len(down))
+	}
+	if down[0].When().Before(det[0].When()) {
+		t.Fatal("takedown before detection")
+	}
+}
+
+func TestFormsPagesDetectedFaster(t *testing.T) {
+	clock, log, inf, _ := newWorld(4)
+	const each = 400
+	for i := 0; i < each; i++ {
+		c := phishkit.DefaultCampaign(event.TargetMail, 0)
+		c.OnForms = true
+		inf.Launch(c)
+	}
+	for i := 0; i < each; i++ {
+		inf.Launch(phishkit.DefaultCampaign(event.TargetMail, 0))
+	}
+	clock.RunUntil(simtime.Epoch.Add(120 * 24 * time.Hour))
+
+	var formsSum, webSum time.Duration
+	var formsN, webN int
+	created := map[event.PageID]event.PageCreated{}
+	for _, c := range logstore.Select[event.PageCreated](log) {
+		created[c.Page] = c
+	}
+	for _, d := range logstore.Select[event.PageDetected](log) {
+		life := d.When().Sub(created[d.Page].When())
+		if created[d.Page].OnForms {
+			formsSum += life
+			formsN++
+		} else {
+			webSum += life
+			webN++
+		}
+	}
+	if formsN == 0 || webN == 0 {
+		t.Fatal("missing detections")
+	}
+	formsMean := formsSum / time.Duration(formsN)
+	webMean := webSum / time.Duration(webN)
+	if formsMean >= webMean {
+		t.Fatalf("forms mean %v not faster than web mean %v", formsMean, webMean)
+	}
+}

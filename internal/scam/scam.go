@@ -1,0 +1,167 @@
+// Package scam generates the semi-personalized scam messages manual
+// hijackers send to a victim's contacts (§5.3). The paper distills scam
+// schemes into five core principles; every generated message is composed
+// from template features implementing them, and exposes which principles
+// it uses so tests and the analysis can verify the structure:
+//
+//  1. a story with credible details,
+//  2. sympathy-evoking language,
+//  3. an appearance of limited financial risk (a loan, repaid quickly),
+//  4. language discouraging out-of-band verification,
+//  5. an untraceable, fast, safe-looking money transfer mechanism.
+package scam
+
+import (
+	"fmt"
+	"strings"
+
+	"manualhijack/internal/randx"
+)
+
+// Principle is one of the five core scam principles (§5.3).
+type Principle string
+
+// The five principles.
+const (
+	CredibleStory      Principle = "credible_story"
+	Sympathy           Principle = "sympathy"
+	LimitedRisk        Principle = "limited_risk"
+	DiscourageContact  Principle = "discourage_contact"
+	UntraceablePayment Principle = "untraceable_payment"
+)
+
+// AllPrinciples lists the five principles.
+func AllPrinciples() []Principle {
+	return []Principle{CredibleStory, Sympathy, LimitedRisk, DiscourageContact, UntraceablePayment}
+}
+
+// Scheme is a scam storyline.
+type Scheme string
+
+// Schemes observed in the wild.
+const (
+	MuggedInCity Scheme = "mugged_in_city"
+	SickRelative Scheme = "sick_relative"
+)
+
+// Victim carries the personalization tokens extracted from the hijacked
+// account (gender, location) — the "semi-personalized" part of §5.3.
+type Victim struct {
+	Name   string
+	Gender string // "f" | "m"
+	City   string
+}
+
+// Message is one generated scam email.
+type Message struct {
+	Scheme     Scheme
+	Subject    string
+	Body       string
+	Principles []Principle
+	// Customized marks the higher-effort variant sent to small recipient
+	// lists (§5.3: the <10-recipient messages tend to be more customized).
+	Customized bool
+}
+
+// UsesPrinciple reports whether the message implements the principle.
+func (m Message) UsesPrinciple(p Principle) bool {
+	for _, mp := range m.Principles {
+		if mp == p {
+			return true
+		}
+	}
+	return false
+}
+
+var farCities = []string{
+	"West Midlands, UK", "Manila, Philippines", "Madrid, Spain",
+	"Limassol, Cyprus", "Kiev, Ukraine", "Istanbul, Turkey",
+}
+
+var payments = []string{"Western Union", "MoneyGram"}
+
+// Generator produces scam messages.
+type Generator struct {
+	rng *randx.Rand
+}
+
+// NewGenerator returns a generator with its own stream.
+func NewGenerator(rng *randx.Rand) *Generator {
+	return &Generator{rng: rng}
+}
+
+// Generate composes one scam message impersonating the victim, addressed
+// to their contacts. customized selects the higher-effort variant.
+func (g *Generator) Generate(scheme Scheme, v Victim, customized bool) Message {
+	pronoun, possessive := "he", "his"
+	if v.Gender == "f" {
+		pronoun, possessive = "she", "her"
+	}
+	payment := randx.Pick(g.rng, payments)
+	city := randx.Pick(g.rng, farCities)
+
+	var subject, story, plea string
+	switch scheme {
+	case SickRelative:
+		subject = "Sorry to bother you with this"
+		story = fmt.Sprintf(
+			"I am presently in %s with my ill cousin. %s is suffering from a kidney disease and must undergo a transplant to save %s life.",
+			city, capitalize(pronoun), possessive)
+		plea = "I urgently need help covering the deposit for the procedure."
+	default: // MuggedInCity
+		subject = fmt.Sprintf("Terrible situation in %s", city)
+		story = fmt.Sprintf(
+			"My family and I came down here to %s for a short vacation. We were mugged last night in an alley by a gang of thugs on our way back from shopping; one of them had a knife poking my neck for almost two minutes and everything we had on us including my cell phone and credit cards was stolen.",
+			city)
+		plea = "I'm urgently in need of some money to pay for my hotel bills and my flight ticket home."
+	}
+
+	parts := []string{
+		story,
+		"Quite honestly it was beyond a dreadful experience, I am still shaken.", // sympathy
+		plea,
+		fmt.Sprintf("It would only be a loan — I will pay you back as soon as I get home, you have my word. A %s transfer in my name is the fastest safe way and I can pick it up here with my passport.", payment), // limited risk + payment
+		"My phone was taken so please don't try to call me, email is the only way I can be reached right now.",                                                                                                      // discourage contact
+	}
+	principles := AllPrinciples()
+
+	body := strings.Join(parts, " ")
+	if customized {
+		body = fmt.Sprintf("Dear friend, it's %s. %s I remember our time in %s — please keep this between us.", v.Name, body, v.City)
+	}
+	return Message{
+		Scheme:     scheme,
+		Subject:    subject,
+		Body:       body,
+		Principles: principles,
+		Customized: customized,
+	}
+}
+
+// RandomScheme draws a scheme with the observed skew toward
+// Mugged-in-City.
+func (g *Generator) RandomScheme() Scheme {
+	if g.rng.Bool(0.7) {
+		return MuggedInCity
+	}
+	return SickRelative
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// Keywords returns search/content keywords present in the message body,
+// used when the message is delivered into mailboxes.
+func (m Message) Keywords() []string {
+	kw := []string{"money", "urgent", "loan"}
+	for _, p := range payments {
+		if strings.Contains(m.Body, p) {
+			kw = append(kw, strings.ToLower(p))
+		}
+	}
+	return kw
+}

@@ -1,0 +1,113 @@
+package scam
+
+import (
+	"strings"
+	"testing"
+
+	"manualhijack/internal/randx"
+)
+
+func newGen(seed int64) *Generator { return NewGenerator(randx.New(seed)) }
+
+func TestAllPrinciplesPresent(t *testing.T) {
+	g := newGen(1)
+	for _, scheme := range []Scheme{MuggedInCity, SickRelative} {
+		m := g.Generate(scheme, Victim{Name: "Maria", Gender: "f", City: "Madrid"}, false)
+		for _, p := range AllPrinciples() {
+			if !m.UsesPrinciple(p) {
+				t.Errorf("%s missing principle %s", scheme, p)
+			}
+		}
+	}
+}
+
+func TestPrinciplesManifestInBody(t *testing.T) {
+	g := newGen(2)
+	m := g.Generate(MuggedInCity, Victim{Gender: "m"}, false)
+	body := m.Body
+	// Untraceable payment: Western Union or MoneyGram by name.
+	if !strings.Contains(body, "Western Union") && !strings.Contains(body, "MoneyGram") {
+		t.Error("no payment mechanism named")
+	}
+	// Limited risk: framed as a loan with repayment.
+	if !strings.Contains(body, "loan") || !strings.Contains(body, "pay you back") {
+		t.Error("limited-risk framing missing")
+	}
+	// Discourage contact: the stolen-phone excuse.
+	if !strings.Contains(body, "don't try to call") {
+		t.Error("discourage-contact language missing")
+	}
+	// Sympathy: distressing detail from the paper's excerpt.
+	if !strings.Contains(body, "knife") {
+		t.Error("distressing detail missing from mugged scheme")
+	}
+}
+
+func TestGenderPersonalization(t *testing.T) {
+	g := newGen(3)
+	f := g.Generate(SickRelative, Victim{Gender: "f"}, false)
+	if !strings.Contains(f.Body, "She is suffering") {
+		t.Errorf("female pronoun not applied: %s", f.Body)
+	}
+	m := g.Generate(SickRelative, Victim{Gender: "m"}, false)
+	if !strings.Contains(m.Body, "He is suffering") {
+		t.Errorf("male pronoun not applied: %s", m.Body)
+	}
+}
+
+func TestCustomizedVariant(t *testing.T) {
+	g := newGen(4)
+	v := Victim{Name: "Raj", Gender: "m", City: "Mumbai"}
+	c := g.Generate(MuggedInCity, v, true)
+	if !c.Customized {
+		t.Fatal("customized flag not set")
+	}
+	if !strings.Contains(c.Body, "Raj") || !strings.Contains(c.Body, "Mumbai") {
+		t.Fatal("customized message lacks personal tokens")
+	}
+	plain := g.Generate(MuggedInCity, v, false)
+	if strings.Contains(plain.Body, "Mumbai") {
+		t.Fatal("uncustomized message leaks victim city")
+	}
+}
+
+func TestRandomSchemeSkew(t *testing.T) {
+	g := newGen(5)
+	mugged := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if g.RandomScheme() == MuggedInCity {
+			mugged++
+		}
+	}
+	rate := float64(mugged) / n
+	if rate < 0.65 || rate > 0.75 {
+		t.Fatalf("mugged share = %.3f, want ~0.70", rate)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	g := newGen(6)
+	m := g.Generate(MuggedInCity, Victim{}, false)
+	kw := m.Keywords()
+	if len(kw) < 3 {
+		t.Fatalf("keywords = %v", kw)
+	}
+	foundPayment := false
+	for _, k := range kw {
+		if k == "western union" || k == "moneygram" {
+			foundPayment = true
+		}
+	}
+	if !foundPayment {
+		t.Fatalf("payment keyword missing: %v", kw)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := newGen(7).Generate(MuggedInCity, Victim{Gender: "f"}, false)
+	b := newGen(7).Generate(MuggedInCity, Victim{Gender: "f"}, false)
+	if a.Body != b.Body || a.Subject != b.Subject {
+		t.Fatal("same seed produced different messages")
+	}
+}

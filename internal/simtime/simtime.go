@@ -1,0 +1,166 @@
+// Package simtime provides the discrete-event simulation clock used by the
+// whole study. All subsystems observe time exclusively through a *Clock so
+// that a simulated multi-year measurement campaign runs in milliseconds and
+// is perfectly reproducible.
+//
+// The scheduler is a binary-heap event queue with a deterministic tie-break:
+// events scheduled for the same instant fire in the order they were
+// scheduled. Handlers may schedule further events, including at the current
+// instant.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Epoch is the default start of simulated time. The study spans 2011–2014,
+// so the default world starts in 2011.
+var Epoch = time.Date(2011, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Clock is a simulated clock combined with an event scheduler. The zero
+// value is not usable; call NewClock.
+type Clock struct {
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	// running guards against re-entrant Run calls from handlers.
+	running bool
+}
+
+// NewClock returns a clock set to start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Len reports the number of pending events.
+func (c *Clock) Len() int { return c.queue.Len() }
+
+// Schedule runs fn at the absolute instant at. Scheduling in the past is an
+// error in the simulation logic, so it panics rather than silently
+// reordering history.
+func (c *Clock) Schedule(at time.Time, fn func()) {
+	if at.Before(c.now) {
+		panic(fmt.Sprintf("simtime: schedule at %s before now %s", at, c.now))
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// After runs fn after d has elapsed from the current instant.
+func (c *Clock) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	c.Schedule(c.now.Add(d), fn)
+}
+
+// Every schedules fn at each multiple of period until end (exclusive),
+// starting one period from now. It is a convenience for periodic agents
+// such as daily work schedules.
+func (c *Clock) Every(period time.Duration, end time.Time, fn func()) {
+	if period <= 0 {
+		panic("simtime: Every with non-positive period")
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		next := c.now.Add(period)
+		if next.Before(end) {
+			c.Schedule(next, tick)
+		}
+	}
+	first := c.now.Add(period)
+	if first.Before(end) {
+		c.Schedule(first, tick)
+	}
+}
+
+// RunUntil executes pending events in timestamp order until the queue is
+// empty or the next event is at or after deadline. The clock is left at
+// deadline (or at the last executed event if the queue drained early and
+// deadline is zero). It returns the number of events executed.
+func (c *Clock) RunUntil(deadline time.Time) int {
+	if c.running {
+		panic("simtime: re-entrant RunUntil from an event handler")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	n := 0
+	for c.queue.Len() > 0 {
+		next := c.queue[0]
+		if !next.at.Before(deadline) {
+			break
+		}
+		heap.Pop(&c.queue)
+		c.now = next.at
+		next.fn()
+		n++
+	}
+	if c.now.Before(deadline) {
+		c.now = deadline
+	}
+	return n
+}
+
+// Drain executes every pending event regardless of timestamp. It returns
+// the number of events executed. Handlers may keep scheduling; Drain stops
+// only when the queue is empty, so unbounded periodic schedules must be
+// bounded by the caller (Every takes an end time for this reason).
+func (c *Clock) Drain() int {
+	if c.running {
+		panic("simtime: re-entrant Drain from an event handler")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	n := 0
+	for c.queue.Len() > 0 {
+		next := heap.Pop(&c.queue).(*event)
+		c.now = next.at
+		next.fn()
+		n++
+	}
+	return n
+}
+
+// Advance moves the clock forward by d, running any events that fall in
+// the window.
+func (c *Clock) Advance(d time.Duration) int {
+	return c.RunUntil(c.now.Add(d))
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,123 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	c := NewClock(Epoch)
+	var got []int
+	c.Schedule(Epoch.Add(3*time.Hour), func() { got = append(got, 3) })
+	c.Schedule(Epoch.Add(1*time.Hour), func() { got = append(got, 1) })
+	c.Schedule(Epoch.Add(2*time.Hour), func() { got = append(got, 2) })
+	n := c.Drain()
+	if n != 3 {
+		t.Fatalf("Drain ran %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := NewClock(Epoch)
+	at := Epoch.Add(time.Minute)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(at, func() { got = append(got, i) })
+	}
+	c.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	c := NewClock(Epoch)
+	ran := 0
+	c.Schedule(Epoch.Add(1*time.Hour), func() { ran++ })
+	c.Schedule(Epoch.Add(5*time.Hour), func() { ran++ })
+	n := c.RunUntil(Epoch.Add(2 * time.Hour))
+	if n != 1 || ran != 1 {
+		t.Fatalf("ran %d events before deadline, want 1", ran)
+	}
+	if !c.Now().Equal(Epoch.Add(2 * time.Hour)) {
+		t.Fatalf("clock = %s, want deadline", c.Now())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Len())
+	}
+}
+
+func TestHandlersScheduleMore(t *testing.T) {
+	c := NewClock(Epoch)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			c.After(time.Minute, chain)
+		}
+	}
+	c.After(time.Minute, chain)
+	c.Drain()
+	if count != 5 {
+		t.Fatalf("chained events = %d, want 5", count)
+	}
+	if want := Epoch.Add(5 * time.Minute); !c.Now().Equal(want) {
+		t.Fatalf("clock = %s, want %s", c.Now(), want)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := NewClock(Epoch)
+	c.RunUntil(Epoch.Add(time.Hour))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.Schedule(Epoch, func() {})
+}
+
+func TestEvery(t *testing.T) {
+	c := NewClock(Epoch)
+	count := 0
+	c.Every(time.Hour, Epoch.Add(5*time.Hour+time.Minute), func() { count++ })
+	c.Drain()
+	if count != 5 {
+		t.Fatalf("periodic fired %d times, want 5", count)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	c := NewClock(Epoch)
+	ran := false
+	c.After(-time.Hour, func() { ran = true })
+	c.Drain()
+	if !ran {
+		t.Fatal("negative After never ran")
+	}
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("clock moved to %s, want epoch", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := NewClock(Epoch)
+	ran := 0
+	c.After(30*time.Minute, func() { ran++ })
+	c.Advance(time.Hour)
+	if ran != 1 {
+		t.Fatalf("Advance ran %d, want 1", ran)
+	}
+	if !c.Now().Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("clock = %s", c.Now())
+	}
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterShares(t *testing.T) {
+	var c Counter
+	for i := 0; i < 35; i++ {
+		c.Add("mail")
+	}
+	for i := 0; i < 21; i++ {
+		c.Add("bank")
+	}
+	c.AddN("other", 44)
+	if c.Total() != 100 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if got := c.Share("mail"); got != 0.35 {
+		t.Fatalf("share(mail) = %v", got)
+	}
+	if got := c.Count("bank"); got != 21 {
+		t.Fatalf("count(bank) = %d", got)
+	}
+	if got := c.Share("missing"); got != 0 {
+		t.Fatalf("share(missing) = %v", got)
+	}
+}
+
+func TestCounterSortedDeterministic(t *testing.T) {
+	var c Counter
+	c.AddN("b", 5)
+	c.AddN("a", 5)
+	c.AddN("z", 9)
+	got := c.Sorted()
+	if got[0].Key != "z" || got[1].Key != "a" || got[2].Key != "b" {
+		t.Fatalf("sorted order = %v", got)
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != "z" {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestEmptyCounter(t *testing.T) {
+	var c Counter
+	if c.Total() != 0 || c.Share("x") != 0 || len(c.Sorted()) != 0 || c.Keys() != 0 {
+		t.Fatal("empty counter misbehaves")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 0.01 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := s.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestSampleMeanStddev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Stddev(); got != 2 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FracBelow(5); got != 0.5 {
+		t.Fatalf("FracBelow(5) = %v", got)
+	}
+	if got := s.FracBelow(0); got != 0 {
+		t.Fatalf("FracBelow(0) = %v", got)
+	}
+	if got := s.FracBelow(10); got != 1 {
+		t.Fatalf("FracBelow(10) = %v", got)
+	}
+}
+
+func TestAddAfterQueryResorts(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(1)
+	if got := s.Min(); got != 1 {
+		t.Fatalf("min after late add = %v", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.FracBelow(1) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample misbehaves")
+	}
+	if s.CDF(5) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+// Property: the empirical CDF is monotonically non-decreasing and ends at 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		cdf := s.CDF(20)
+		prev := -1.0
+		for _, pt := range cdf {
+			if pt.Frac < prev {
+				return false
+			}
+			prev = pt.Frac
+		}
+		return cdf[len(cdf)-1].Frac == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		ps := []float64{0, 10, 25, 50, 75, 90, 100}
+		prev := math.Inf(-1)
+		for _, p := range ps {
+			v := s.Percentile(p)
+			if s.N() > 0 && v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Counter totals equal the sum of entry counts, and shares sum
+// to ~1 for a non-empty counter.
+func TestCounterConsistencyProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		var c Counter
+		for _, k := range keys {
+			c.Add(k)
+		}
+		sum, shares := 0, 0.0
+		for _, e := range c.Sorted() {
+			sum += e.Count
+			shares += e.Share
+		}
+		if sum != c.Total() {
+			return false
+		}
+		return c.Total() == 0 || math.Abs(shares-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	start := time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC)
+	ts := NewTimeSeries(start, time.Hour)
+	ts.Observe(start)
+	ts.Observe(start.Add(30 * time.Minute))
+	ts.Observe(start.Add(90 * time.Minute))
+	ts.ObserveN(start.Add(5*time.Hour), 7)
+	counts := ts.Counts()
+	if counts[0] != 2 || counts[1] != 1 || counts[5] != 7 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if ts.Total() != 10 {
+		t.Fatalf("total = %d", ts.Total())
+	}
+	peak, idx := ts.Peak()
+	if peak != 7 || idx != 5 {
+		t.Fatalf("peak = %d@%d", peak, idx)
+	}
+}
+
+func TestTimeSeriesClampsPast(t *testing.T) {
+	start := time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC)
+	ts := NewTimeSeries(start, time.Hour)
+	ts.Observe(start.Add(-time.Hour))
+	if ts.Counts()[0] != 1 {
+		t.Fatal("pre-start observation not clamped into bucket 0")
+	}
+}
+
+func TestEmptyTimeSeriesPeak(t *testing.T) {
+	ts := NewTimeSeries(time.Unix(0, 0).UTC(), time.Hour)
+	if c, i := ts.Peak(); c != 0 || i != -1 {
+		t.Fatalf("empty peak = %d@%d", c, i)
+	}
+}
+
+func TestRatioAndDelta(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("Ratio wrong")
+	}
+	if PercentDelta(100, 125) != 0.25 {
+		t.Fatal("PercentDelta wrong")
+	}
+	if PercentDelta(0, 5) != 0 {
+		t.Fatal("PercentDelta base 0 should be 0")
+	}
+}
+
+func TestValuesCopy(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	v := s.Values()
+	v[0] = 99
+	if s.Max() != 3 {
+		t.Fatal("Values did not copy")
+	}
+	if !sort.Float64sAreSorted(s.Values()) {
+		t.Fatal("values should be sorted after Max query")
+	}
+}

@@ -1,0 +1,67 @@
+// Package strsim provides the string-similarity primitives used to detect
+// doppelganger addresses (§5.4): hijackers divert a victim's future
+// correspondence to a look-alike account — "a difficult-to-detect typo to
+// the username" at the same provider, or the same username at "a
+// similar-looking domain name". Defenders can flag Reply-To and
+// forwarding addresses that are suspiciously close to the account's own.
+package strsim
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(
+				prev[j]+1,      // delete
+				cur[j-1]+1,     // insert
+				prev[j-1]+cost, // substitute
+			)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Similarity maps edit distance into [0,1]: 1 for identical strings, 0
+// for completely different ones.
+func Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

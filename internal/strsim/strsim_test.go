@@ -1,0 +1,100 @@
+package strsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"eve@gmail.com", "eve@gmali.com", 2},
+		{"账单", "账单", 0},
+		{"账单", "账户", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	if Similarity("same", "same") != 1 {
+		t.Fatal("identity != 1")
+	}
+	if got := Similarity("abcd", "wxyz"); got != 0 {
+		t.Fatalf("disjoint similarity = %v", got)
+	}
+	// The paper's doppelganger example: same username, different provider.
+	a, b := "eve.smith@gmail.com", "eve.smith@gmali.com"
+	if got := Similarity(a, b); got < 0.85 {
+		t.Fatalf("doppelganger similarity = %v, want high", got)
+	}
+}
+
+// Property: distance is symmetric, zero iff equal, and bounded by the
+// longer length.
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		d1, d2 := Levenshtein(a, b), Levenshtein(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if (d1 == 0) != (a == b) {
+			return false
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		max := la
+		if lb > max {
+			max = lb
+		}
+		return d1 <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: similarity stays in [0,1].
+func TestSimilarityBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-rune edit keeps distance exactly 1.
+func TestSingleEditDistance(t *testing.T) {
+	f := func(s string, pos uint8) bool {
+		r := []rune(s)
+		if len(r) == 0 {
+			return true
+		}
+		i := int(pos) % len(r)
+		mutated := make([]rune, len(r))
+		copy(mutated, r)
+		if mutated[i] == 'x' {
+			mutated[i] = 'y'
+		} else {
+			mutated[i] = 'x'
+		}
+		if string(mutated) == s {
+			return true
+		}
+		return Levenshtein(s, string(mutated)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package victim
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/mail"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/recovery"
+	"manualhijack/internal/simtime"
+)
+
+type fixture struct {
+	clock *simtime.Clock
+	log   *logstore.Store
+	dir   *identity.Directory
+	mail  *mail.Service
+	auth  *auth.Service
+	rec   *recovery.Service
+	mgr   *Manager
+}
+
+func newFixture(t *testing.T, seed int64, n int) *fixture {
+	t.Helper()
+	clock := simtime.NewClock(simtime.Epoch)
+	rng := randx.New(seed)
+	idCfg := identity.DefaultConfig(simtime.Epoch)
+	idCfg.N = n
+	dir := identity.NewDirectory(rng, idCfg)
+	log := logstore.New()
+	plan := geo.NewIPPlan(4)
+	mailSvc := mail.NewService(dir, clock, log)
+	authSvc := auth.NewService(dir, clock, log, nil, nil, auth.Config{
+		RiskEnabled: false, NotificationsEnabled: true,
+	})
+	rec := recovery.NewService(recovery.DefaultConfig(), clock, log, rng, dir, authSvc, mailSvc)
+	mgr := NewManager(DefaultConfig(), clock, rng, dir, mailSvc, authSvc, rec, plan, log)
+	return &fixture{clock: clock, log: log, dir: dir, mail: mailSvc, auth: authSvc, rec: rec, mgr: mgr}
+}
+
+func (f *fixture) run(d time.Duration) { f.clock.RunUntil(f.clock.Now().Add(d)) }
+
+func TestOrganicSessions(t *testing.T) {
+	f := newFixture(t, 1, 300)
+	f.mgr.Start(simtime.Epoch.Add(14 * 24 * time.Hour))
+	f.run(14 * 24 * time.Hour)
+
+	logins := logstore.Select[event.Login](f.log)
+	if len(logins) < 1000 {
+		t.Fatalf("organic logins = %d, want plenty", len(logins))
+	}
+	for _, l := range logins {
+		if l.Actor != event.ActorOwner {
+			t.Fatalf("unexpected actor %s", l.Actor)
+		}
+		if l.Outcome != event.LoginSuccess {
+			t.Fatalf("organic login failed: %+v", l)
+		}
+	}
+	if len(logstore.Select[event.MessageSent](f.log)) == 0 {
+		t.Fatal("no organic mail sent")
+	}
+}
+
+func TestScamDeliveryTriggersReports(t *testing.T) {
+	f := newFixture(t, 2, 500)
+	// Deliver scams to many accounts directly.
+	sender := f.dir.Get(1)
+	var rcpts []identity.Address
+	for i := 2; i <= 400; i++ {
+		rcpts = append(rcpts, f.dir.Get(identity.AccountID(i)).Addr)
+	}
+	f.mail.Send(mail.SendReq{
+		FromAcct: sender.ID, FromAddr: sender.Addr, Recipients: rcpts,
+		Class: event.ClassScam, Actor: event.ActorHijacker,
+	})
+	f.run(3 * 24 * time.Hour)
+
+	reports := logstore.Select[event.SpamReported](f.log)
+	rate := float64(len(reports)) / float64(len(rcpts))
+	if rate < 0.06 || rate > 0.20 {
+		t.Fatalf("report rate = %.3f (n=%d), want ~0.12", rate, len(reports))
+	}
+	for _, r := range reports {
+		if r.Class != event.ClassScam || r.FromAcct != sender.ID {
+			t.Fatalf("report = %+v", r)
+		}
+	}
+}
+
+func TestOrganicMailRarelyReported(t *testing.T) {
+	f := newFixture(t, 3, 500)
+	sender := f.dir.Get(1)
+	var rcpts []identity.Address
+	for i := 2; i <= 500; i++ {
+		rcpts = append(rcpts, f.dir.Get(identity.AccountID(i)).Addr)
+	}
+	f.mail.Send(mail.SendReq{
+		FromAcct: sender.ID, FromAddr: sender.Addr, Recipients: rcpts,
+		Class: event.ClassOrganic, Actor: event.ActorOwner,
+	})
+	f.run(3 * 24 * time.Hour)
+	if n := len(logstore.Select[event.SpamReported](f.log)); n > 10 {
+		t.Fatalf("organic reports = %d, want near zero", n)
+	}
+}
+
+func TestLockoutDiscoveryAndRecovery(t *testing.T) {
+	f := newFixture(t, 4, 200)
+	var victims []*identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if x.Phone != "" && len(victims) < 20 {
+			victims = append(victims, x)
+		}
+	})
+	f.mgr.Start(simtime.Epoch.Add(30 * 24 * time.Hour))
+	// Hijackers change the passwords (lockout) at day 1. Owners discover
+	// via notification or at their next organic login.
+	f.run(24 * time.Hour)
+	hijacked := map[identity.AccountID]bool{}
+	for _, a := range victims {
+		f.mgr.HijackEnded("crew-x", a.ID, f.clock.Now(), true, true)
+		f.auth.ChangePassword(a.ID, "stolen", 99, event.ActorHijacker)
+		hijacked[a.ID] = true
+	}
+	f.run(29 * 24 * time.Hour)
+
+	filed := logstore.Select[event.ClaimFiled](f.log)
+	if len(filed) < 10 {
+		t.Fatalf("claims = %d, want most of the 20 locked-out owners to file", len(filed))
+	}
+	for _, c := range filed {
+		if !hijacked[c.Account] {
+			t.Fatalf("claim from non-hijacked account %d", c.Account)
+		}
+	}
+	resolved := logstore.SelectWhere(f.log, func(r event.ClaimResolved) bool { return r.Success })
+	if len(resolved) == 0 {
+		t.Fatal("no claim succeeded (SMS on file should succeed ~81%)")
+	}
+	for _, r := range resolved {
+		if f.dir.Get(r.Account).Password == "stolen" {
+			t.Fatal("password still hijacker's after recovery")
+		}
+	}
+}
+
+func TestNotificationReactionIsFast(t *testing.T) {
+	// With a large population of hijacks, notification-driven claims
+	// should often land within the hour.
+	f := newFixture(t, 5, 2000)
+	f.mgr.Start(simtime.Epoch.Add(10 * 24 * time.Hour))
+	f.run(24 * time.Hour)
+	hijackAt := f.clock.Now()
+	count := 0
+	f.dir.All(func(a *identity.Account) {
+		if a.Phone == "" || count >= 300 {
+			return
+		}
+		count++
+		f.mgr.HijackEnded("crew-x", a.ID, hijackAt, true, true)
+		f.auth.ChangePassword(a.ID, "stolen", 99, event.ActorHijacker)
+	})
+	f.run(9 * 24 * time.Hour)
+
+	fast := 0
+	claims := logstore.SelectWhere(f.log, func(c event.ClaimFiled) bool { return c.Trigger == "notification" })
+	for _, c := range claims {
+		if c.When().Sub(hijackAt) <= 2*time.Hour {
+			fast++
+		}
+	}
+	if len(claims) < 100 {
+		t.Fatalf("notification claims = %d, want many of 300", len(claims))
+	}
+	if float64(fast)/float64(len(claims)) < 0.5 {
+		t.Fatalf("fast notification claims = %d/%d, want most within 2h", fast, len(claims))
+	}
+}
+
+func TestOwnerOwnChangesDoNotTriggerClaims(t *testing.T) {
+	f := newFixture(t, 6, 50)
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	// Owner changes their own password; manager learns it via... the
+	// notification arrives but knownPassword check: simulate the owner
+	// updating their password through the manager-aware path.
+	f.mgr.knownPassword[a.ID] = "my-new-password"
+	f.auth.ChangePassword(a.ID, "my-new-password", 1, event.ActorOwner)
+	f.run(7 * 24 * time.Hour)
+	if n := len(logstore.Select[event.ClaimFiled](f.log)); n != 0 {
+		t.Fatalf("owner's own change produced %d claims", n)
+	}
+}
+
+func TestShadowHijackSometimesNoticed(t *testing.T) {
+	f := newFixture(t, 7, 2000)
+	hijackAt := simtime.Epoch
+	for i := 1; i <= 500; i++ {
+		f.mgr.HijackEnded("crew-x", identity.AccountID(i), hijackAt, false, true)
+	}
+	f.run(30 * 24 * time.Hour)
+	claims := logstore.SelectWhere(f.log, func(c event.ClaimFiled) bool { return c.Trigger == "noticed" })
+	rate := float64(len(claims)) / 500
+	if rate < 0.20 || rate > 0.50 {
+		t.Fatalf("shadow-hijack notice rate = %.3f, want ~0.35", rate)
+	}
+}
+
+func TestRecoveredPasswordKnownToOwner(t *testing.T) {
+	f := newFixture(t, 8, 100)
+	var a *identity.Account
+	f.dir.All(func(x *identity.Account) {
+		if a == nil && x.Phone != "" {
+			a = x
+		}
+	})
+	f.mgr.HijackEnded("crew-x", a.ID, f.clock.Now(), true, true)
+	f.auth.ChangePassword(a.ID, "stolen", 99, event.ActorHijacker)
+	f.run(30 * 24 * time.Hour)
+	resolved := logstore.SelectWhere(f.log, func(r event.ClaimResolved) bool { return r.Success })
+	if len(resolved) == 0 {
+		t.Skip("recovery did not succeed in this seed")
+	}
+	if f.mgr.knownPassword[a.ID] != f.dir.Get(a.ID).Password {
+		t.Fatal("owner does not know the recovered password")
+	}
+}
+
+func TestScamFunnel(t *testing.T) {
+	f := newFixture(t, 9, 2000)
+	sender := f.dir.Get(1)
+	// Register the hijack so replies can route via retained access.
+	f.mgr.HijackEnded("ng-crew", sender.ID, f.clock.Now(), false, true)
+	var rcpts []identity.Address
+	for i := 2; i <= 1500; i++ {
+		rcpts = append(rcpts, f.dir.Get(identity.AccountID(i)).Addr)
+	}
+	f.mail.Send(mail.SendReq{
+		FromAcct: sender.ID, FromAddr: sender.Addr, Recipients: rcpts,
+		Class: event.ClassScam, Actor: event.ActorHijacker,
+	})
+	f.run(10 * 24 * time.Hour)
+
+	replies := logstore.Select[event.ScamReply](f.log)
+	if len(replies) < 5 {
+		t.Fatalf("scam replies = %d, want ~1.5%% of %d", len(replies), len(rcpts))
+	}
+	rate := float64(len(replies)) / float64(len(rcpts))
+	if rate < 0.005 || rate > 0.04 {
+		t.Fatalf("engage rate = %.4f, want ~0.015", rate)
+	}
+	reached := 0
+	for _, r := range replies {
+		if r.VictimAccount != sender.ID {
+			t.Fatalf("reply attributed to %d", r.VictimAccount)
+		}
+		if r.ReachedHijacker {
+			reached++
+			if r.Via != "access" {
+				t.Fatalf("via = %s, want access (no redirections configured)", r.Via)
+			}
+		}
+	}
+	if reached == 0 {
+		t.Fatal("no reply reached the crew despite retained access")
+	}
+	wired := logstore.Select[event.MoneyWired](f.log)
+	if len(wired) == 0 {
+		t.Fatal("no payments despite reached replies")
+	}
+	for _, p := range wired {
+		if p.Crew != "ng-crew" || p.Amount <= 0 {
+			t.Fatalf("payment = %+v", p)
+		}
+	}
+}
+
+func TestScamReplyLostAfterRecovery(t *testing.T) {
+	f := newFixture(t, 10, 500)
+	sender := f.dir.Get(1)
+	// No hijack registered (equivalent to already recovered): replies die.
+	var rcpts []identity.Address
+	for i := 2; i <= 500; i++ {
+		rcpts = append(rcpts, f.dir.Get(identity.AccountID(i)).Addr)
+	}
+	f.mail.Send(mail.SendReq{
+		FromAcct: sender.ID, FromAddr: sender.Addr, Recipients: rcpts,
+		Class: event.ClassScam, Actor: event.ActorHijacker,
+	})
+	f.run(5 * 24 * time.Hour)
+	for _, r := range logstore.Select[event.ScamReply](f.log) {
+		if r.ReachedHijacker {
+			t.Fatalf("reply reached crew without access or redirection: %+v", r)
+		}
+	}
+	if n := len(logstore.Select[event.MoneyWired](f.log)); n != 0 {
+		t.Fatalf("payments = %d without any route to the crew", n)
+	}
+}
+
+func TestScamReplyViaReplyTo(t *testing.T) {
+	f := newFixture(t, 11, 600)
+	sender := f.dir.Get(1)
+	f.mail.SetReplyTo(sender.ID, "doppel@evil.test", 1, event.ActorHijacker)
+	var rcpts []identity.Address
+	for i := 2; i <= 600; i++ {
+		rcpts = append(rcpts, f.dir.Get(identity.AccountID(i)).Addr)
+	}
+	f.mail.Send(mail.SendReq{
+		FromAcct: sender.ID, FromAddr: sender.Addr, Recipients: rcpts,
+		Class: event.ClassScam, Actor: event.ActorHijacker,
+	})
+	f.run(5 * 24 * time.Hour)
+	replies := logstore.Select[event.ScamReply](f.log)
+	if len(replies) == 0 {
+		t.Skip("no engagement in this seed")
+	}
+	for _, r := range replies {
+		if !r.ReachedHijacker || r.Via != "replyto" {
+			t.Fatalf("reply = %+v, want routed via replyto", r)
+		}
+	}
+}
