@@ -102,6 +102,33 @@ func worldBase() *core.World {
 	return wBase
 }
 
+// ---- study engine ----------------------------------------------------------
+
+// BenchmarkStudyParallel times the full reduced-scale study end to end at
+// both engine settings: the legacy sequential engine (par=1) and the
+// GOMAXPROCS worker pool (par=max). On a multi-core runner the pooled
+// engine is wall-clock-bound by the slowest era world instead of the sum
+// of all five; the determinism test in internal/core asserts both produce
+// byte-identical reports.
+func BenchmarkStudyParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"par=1", 1}, {"par=max", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc := core.DefaultStudyConfig(11)
+				sc.Scale = 0.05
+				sc.Parallelism = bc.par
+				r := core.RunStudy(sc)
+				if r.Events2012 == 0 || r.Fig7.Submitted == 0 {
+					b.Fatal("study produced an empty report")
+				}
+			}
+		})
+	}
+}
+
 // ---- §3 base rates -------------------------------------------------------
 
 func BenchmarkBaseRatesSection3(b *testing.B) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"manualhijack/internal/analysis"
@@ -18,6 +20,12 @@ type StudyConfig struct {
 	// SampleSize caps per-dataset samples (the paper's Table 1 sizes are
 	// used at scale 1).
 	DecoyN int
+	// Parallelism bounds the worker pool that runs the era worlds and
+	// fans out the read-only analyses: 0 means GOMAXPROCS, 1 is the
+	// legacy sequential engine. Every setting produces a byte-identical
+	// StudyReport for the same Seed — each world owns an independent
+	// seed and log, and each analysis writes its own report field.
+	Parallelism int
 }
 
 // DefaultStudyConfig is the full-scale study.
@@ -97,109 +105,196 @@ func (sc StudyConfig) era(start time.Time, days, pop int, crews []CrewSpec, camp
 	return cfg
 }
 
-// RunStudy executes the four observation windows and computes every
-// artifact from the era-appropriate world, mirroring how the paper's
-// datasets were drawn from different time windows of Google's logs
-// (Table 1).
-func RunStudy(sc StudyConfig) *StudyReport {
-	if sc.Scale <= 0 {
-		sc.Scale = 1
-	}
-	r := &StudyReport{}
-
-	// October–December 2011: retention-tactic baseline and the Dataset 9
-	// contact-risk experiment (cohorts formed after 15 days, outcomes
-	// over the following 60).
-	cfg2011 := sc.era(
+// world2011 runs October–December 2011: the retention-tactic baseline and
+// the Dataset 9 contact-risk experiment (cohorts formed after 15 days,
+// outcomes over the following 60).
+func (sc StudyConfig) world2011() *World {
+	cfg := sc.era(
 		time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC), 75, 20000,
 		Roster2011(), 12, 350)
-	cfg2011.Recovery = recovery.Config2011()
-	cfg2011.CampaignDays = 15 // background phishing only while cohorts form
-	w2011 := NewWorld(cfg2011)
-	w2011.Run()
-	r.Retention2011 = analysis.ComputeRetention(w2011.Log, 600)
-	// Cohorts form four days after background campaigns stop, so the
-	// backlog of mass-campaign conversions is flushed and the outcome
-	// window isolates the hijacker contact-targeting loop.
-	cutoff := w2011.Cfg.Start.Add(19 * 24 * time.Hour)
-	r.ContactRisk = analysis.ComputeContactRisk(
-		w2011.Log, w2011.Dir, cutoff, 8*24*time.Hour, 56*24*time.Hour,
-		scaleInt(3000, sc.Scale, 200))
-	r.Events2011 = w2011.Log.Len()
+	cfg.Recovery = recovery.Config2011()
+	cfg.CampaignDays = 15 // background phishing only while cohorts form
+	w := NewWorld(cfg)
+	w.Run()
+	return w
+}
 
-	// November 2012: the era most datasets come from (4–8, 11), plus the
-	// decoy experiment and the Forms-page HTTP analyses.
-	cfg2012 := sc.era(
+// world2012 runs November 2012: the era most datasets come from (4–8,
+// 11), plus the decoy experiment and the Forms-page HTTP analyses.
+func (sc StudyConfig) world2012() *World {
+	cfg := sc.era(
 		time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC), 30, 12000,
 		Roster2012(), 30, 420)
-	cfg2012.DecoyN = scaleInt(sc.DecoyN, sc.Scale, 40)
-	w2012 := NewWorld(cfg2012)
-	w2012.InjectDecoys(20 * 24 * time.Hour)
-	w2012.Run()
+	cfg.DecoyN = scaleInt(sc.DecoyN, sc.Scale, 40)
+	w := NewWorld(cfg)
+	w.InjectDecoys(20 * 24 * time.Hour)
+	w.Run()
+	return w
+}
 
-	r.Fig3 = analysis.ComputeFigure3(w2012.Log, 100)
-	r.Fig4 = analysis.ComputeFigure4(w2012.Log, 100)
-	r.Fig5 = analysis.ComputeFigure5(w2012.Log, 100, 25)
-	r.Fig6 = analysis.ComputeFigure6(w2012.Log, 100)
-	r.Fig7 = analysis.ComputeFigure7(w2012.Log)
-	r.Fig8 = analysis.ComputeFigure8(w2012.Log)
-	r.Table3 = analysis.ComputeTable3(w2012.Log)
-	r.Assessment = analysis.ComputeAssessment(w2012.Log, 575)
-	r.Exploitation = analysis.ComputeExploitation(w2012.Log, 575)
-	r.Retention2012 = analysis.ComputeRetention(w2012.Log, 575)
-	r.Fig9 = analysis.ComputeFigure9(w2012.Log, 5000)
-	r.Fig12 = analysis.ComputeFigure12(w2012.Log, 300)
-	r.Behavior = analysis.EvaluateBehaviorDetector(w2012.Log, behavior.DefaultConfig())
-	r.RiskSweep = analysis.SweepRiskThreshold(w2012.Log,
-		[]float64{0.3, 0.4, 0.5, 0.58, 0.62, 0.7, 0.8, 0.9})
-	r.Schedule = analysis.ComputeWorkSchedule(w2012.Log)
-	r.Doppelganger = analysis.EvaluateDoppelgangerDetector(w2012.Log, w2012.Dir, 0.75)
-	r.Monetization = analysis.ComputeMonetization(w2012.Log)
-	r.Lifecycle = analysis.ComputeLifecycle(w2012.Log)
-	r.Events2012 = w2012.Log.Len()
-
-	// February 2013: a month of recovery claims (Dataset 12, Figure 10).
-	w2013 := NewWorld(sc.era(
+// world2013 runs February 2013: a month of recovery claims (Dataset 12,
+// Figure 10).
+func (sc StudyConfig) world2013() *World {
+	w := NewWorld(sc.era(
 		time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC), 28, 8000,
 		Roster2012(), 22, 420))
-	w2013.Run()
-	r.Fig10 = analysis.ComputeFigure10(w2013.Log, w2013.Cfg.Start, w2013.End())
-	secTotal, secRecycled := secondaryCounts(w2013)
-	r.Channels = analysis.ComputeRecoveryChannels(w2013.Log, secTotal, secRecycled)
-	r.Remission = analysis.ComputeRemission(w2013.Log)
-	r.Events2013 = w2013.Log.Len()
+	w.Run()
+	return w
+}
 
-	// January 2014: attribution (Dataset 13) and the curated phishing
-	// email/page review (Datasets 1–2, Table 2).
-	cfg2014 := sc.era(
+// world2014 runs January 2014: attribution (Dataset 13) and the curated
+// phishing email/page review (Datasets 1–2, Table 2).
+func (sc StudyConfig) world2014() *World {
+	cfg := sc.era(
 		time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC), 30, 10000,
 		Roster2014(), 25, 420)
 	// No outlier campaigns here: their 6× lure volume makes the Table 2
 	// email sample lumpy, and Figure 6 is computed from the 2012 world.
-	cfg2014.OutlierShare = 0
-	w2014 := NewWorld(cfg2014)
-	w2014.Run()
-	r.Table2 = analysis.ComputeTable2(w2014.Log, 100)
-	r.URLShare = analysis.URLShare(w2014.Log, 100)
-	r.Fig11 = analysis.ComputeFigure11(w2014.Log, w2014.Plan, 3000)
-	r.Events2014 = w2014.Log.Len()
+	cfg.OutlierShare = 0
+	w := NewWorld(cfg)
+	w.Run()
+	return w
+}
 
-	// Base rates come from a separate low-intensity world calibrated to
-	// the paper's ~9 hijacks per million active users per day — the other
-	// worlds run at boosted phishing intensity for statistical power
-	// (documented in EXPERIMENTS.md).
-	wBase := NewWorld(sc.era(
+// worldBase runs the separate low-intensity world calibrated to the
+// paper's ~9 hijacks per million active users per day — the era worlds
+// run at boosted phishing intensity for statistical power (documented in
+// EXPERIMENTS.md).
+func (sc StudyConfig) worldBase() *World {
+	w := NewWorld(sc.era(
 		time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC), 30, 20000,
 		Roster2012(), 0.9, 100))
-	wBase.Run()
-	active := 0
-	end := wBase.End()
-	wBase.Dir.All(func(a *identity.Account) {
-		if a.Active(end) {
-			active++
+	w.Run()
+	return w
+}
+
+// runAll executes jobs on at most par workers. par <= 1 runs them
+// sequentially in order (the legacy engine). Jobs must write to disjoint
+// state; the pool provides only the completion barrier.
+func runAll(par int, jobs []func()) {
+	if par <= 1 || len(jobs) < 2 {
+		for _, job := range jobs {
+			job()
 		}
+		return
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	next := make(chan func())
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for i := 0; i < par; i++ {
+		go func() {
+			defer wg.Done()
+			for job := range next {
+				job()
+			}
+		}()
+	}
+	for _, job := range jobs {
+		next <- job
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RunStudy executes the four observation windows and computes every
+// artifact from the era-appropriate world, mirroring how the paper's
+// datasets were drawn from different time windows of Google's logs
+// (Table 1) and aggregated via map-reduce.
+//
+// The engine has two parallel phases. First the five era worlds run
+// concurrently — each owns an independent seed, clock, and log, so the
+// phase is wall-clock-bound by the slowest era instead of the sum of all
+// five. Then the read-only analyses fan out across the worker pool over
+// the sealed logs. Both phases are deterministic at any parallelism:
+// every analysis writes a distinct StudyReport field, so the report is
+// byte-identical for a fixed Seed whatever StudyConfig.Parallelism says.
+func RunStudy(sc StudyConfig) *StudyReport {
+	if sc.Scale <= 0 {
+		sc.Scale = 1
+	}
+	par := sc.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	r := &StudyReport{}
+
+	var w2011, w2012, w2013, w2014, wBase *World
+	runAll(par, []func(){
+		func() { w2011 = sc.world2011() },
+		func() { w2012 = sc.world2012() },
+		func() { w2013 = sc.world2013() },
+		func() { w2014 = sc.world2014() },
+		func() { wBase = sc.worldBase() },
 	})
-	r.BaseRates = analysis.ComputeBaseRates(wBase.Log, wBase.Cfg.Start, end, active)
+	r.Events2011 = w2011.Log.Len()
+	r.Events2012 = w2012.Log.Len()
+	r.Events2013 = w2013.Log.Len()
+	r.Events2014 = w2014.Log.Len()
+
+	runAll(par, []func(){
+		// 2011 era.
+		func() { r.Retention2011 = analysis.ComputeRetention(w2011.Log, 600) },
+		func() {
+			// Cohorts form four days after background campaigns stop, so
+			// the backlog of mass-campaign conversions is flushed and the
+			// outcome window isolates the hijacker contact-targeting loop.
+			cutoff := w2011.Cfg.Start.Add(19 * 24 * time.Hour)
+			r.ContactRisk = analysis.ComputeContactRisk(
+				w2011.Log, w2011.Dir, cutoff, 8*24*time.Hour, 56*24*time.Hour,
+				scaleInt(3000, sc.Scale, 200))
+		},
+
+		// 2012 era — the big fan-out.
+		func() { r.Fig3 = analysis.ComputeFigure3(w2012.Log, 100) },
+		func() { r.Fig4 = analysis.ComputeFigure4(w2012.Log, 100) },
+		func() { r.Fig5 = analysis.ComputeFigure5(w2012.Log, 100, 25) },
+		func() { r.Fig6 = analysis.ComputeFigure6(w2012.Log, 100) },
+		func() { r.Fig7 = analysis.ComputeFigure7(w2012.Log) },
+		func() { r.Fig8 = analysis.ComputeFigure8(w2012.Log) },
+		func() { r.Table3 = analysis.ComputeTable3(w2012.Log) },
+		func() { r.Assessment = analysis.ComputeAssessment(w2012.Log, 575) },
+		func() { r.Exploitation = analysis.ComputeExploitation(w2012.Log, 575) },
+		func() { r.Retention2012 = analysis.ComputeRetention(w2012.Log, 575) },
+		func() { r.Fig9 = analysis.ComputeFigure9(w2012.Log, 5000) },
+		func() { r.Fig12 = analysis.ComputeFigure12(w2012.Log, 300) },
+		func() { r.Behavior = analysis.EvaluateBehaviorDetector(w2012.Log, behavior.DefaultConfig()) },
+		func() {
+			r.RiskSweep = analysis.SweepRiskThreshold(w2012.Log,
+				[]float64{0.3, 0.4, 0.5, 0.58, 0.62, 0.7, 0.8, 0.9})
+		},
+		func() { r.Schedule = analysis.ComputeWorkSchedule(w2012.Log) },
+		func() { r.Doppelganger = analysis.EvaluateDoppelgangerDetector(w2012.Log, w2012.Dir, 0.75) },
+		func() { r.Monetization = analysis.ComputeMonetization(w2012.Log) },
+		func() { r.Lifecycle = analysis.ComputeLifecycle(w2012.Log) },
+
+		// 2013 era.
+		func() { r.Fig10 = analysis.ComputeFigure10(w2013.Log, w2013.Cfg.Start, w2013.End()) },
+		func() {
+			secTotal, secRecycled := secondaryCounts(w2013)
+			r.Channels = analysis.ComputeRecoveryChannels(w2013.Log, secTotal, secRecycled)
+		},
+		func() { r.Remission = analysis.ComputeRemission(w2013.Log) },
+
+		// 2014 era.
+		func() { r.Table2 = analysis.ComputeTable2(w2014.Log, 100) },
+		func() { r.URLShare = analysis.URLShare(w2014.Log, 100) },
+		func() { r.Fig11 = analysis.ComputeFigure11(w2014.Log, w2014.Plan, 3000) },
+
+		// Base rates.
+		func() {
+			active := 0
+			end := wBase.End()
+			wBase.Dir.All(func(a *identity.Account) {
+				if a.Active(end) {
+					active++
+				}
+			})
+			r.BaseRates = analysis.ComputeBaseRates(wBase.Log, wBase.Cfg.Start, end, active)
+		},
+	})
 
 	return r
 }

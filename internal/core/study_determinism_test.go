@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"manualhijack/internal/core"
+	"manualhijack/internal/report"
+)
+
+// The hard guarantee of the parallel engine: the same seed yields a
+// byte-identical StudyReport at any parallelism. A reduced-scale study
+// runs once sequentially (the legacy engine) and once on an 8-worker
+// pool; both the struct and the rendered report must match exactly.
+func TestRunStudyDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study determinism test is slow")
+	}
+	run := func(par int) *core.StudyReport {
+		sc := core.DefaultStudyConfig(11)
+		sc.Scale = 0.1
+		sc.Parallelism = par
+		return core.RunStudy(sc)
+	}
+	start := time.Now()
+	seq := run(1)
+	seqWall := time.Since(start)
+	start = time.Now()
+	parl := run(8)
+	parWall := time.Since(start)
+	t.Logf("sequential %v, 8-way %v", seqWall.Round(time.Millisecond), parWall.Round(time.Millisecond))
+
+	if !reflect.DeepEqual(seq, parl) {
+		// Narrow the diff to the first field that diverges.
+		sv, pv := reflect.ValueOf(*seq), reflect.ValueOf(*parl)
+		for i := 0; i < sv.NumField(); i++ {
+			if !reflect.DeepEqual(sv.Field(i).Interface(), pv.Field(i).Interface()) {
+				t.Errorf("field %s diverges across parallelism:\nseq: %+v\npar: %+v",
+					sv.Type().Field(i).Name, sv.Field(i).Interface(), pv.Field(i).Interface())
+			}
+		}
+		t.Fatal("StudyReport not deterministic across parallelism")
+	}
+
+	var seqOut, parOut bytes.Buffer
+	report.RenderStudy(&seqOut, seq)
+	report.RenderStudy(&parOut, parl)
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Fatal("rendered reports differ across parallelism")
+	}
+}

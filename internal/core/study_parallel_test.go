@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllSequentialPreservesOrder(t *testing.T) {
+	var got []int
+	jobs := make([]func(), 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() { got = append(got, i) }
+	}
+	runAll(1, jobs)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestRunAllParallelRunsEveryJobOnce(t *testing.T) {
+	const n = 100
+	var counts [n]int32
+	jobs := make([]func(), n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() { atomic.AddInt32(&counts[i], 1) }
+	}
+	runAll(8, jobs)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunAllMoreWorkersThanJobs(t *testing.T) {
+	ran := int32(0)
+	runAll(64, []func(){
+		func() { atomic.AddInt32(&ran, 1) },
+		func() { atomic.AddInt32(&ran, 1) },
+	})
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}

@@ -284,6 +284,9 @@ func (w *World) Run() {
 		})
 	}
 	w.Clock.RunUntil(end)
+	// The window is over and every agent has stopped: freeze the log so
+	// the analysis phase gets index-backed, concurrency-safe reads.
+	w.Log.Seal()
 }
 
 // scheduleNextCampaign books campaign launches as a Poisson process.

@@ -3,48 +3,67 @@ package event
 import (
 	"encoding/json"
 	"fmt"
+	"reflect"
 )
 
-// decodeAs unmarshals data into a concrete event type and returns it as an
-// Event value.
-func decodeAs[T Event](data []byte) (Event, error) {
-	var v T
-	if err := json.Unmarshal(data, &v); err != nil {
-		return nil, err
+// The registry maps every record kind to its JSON decoder and every
+// concrete record type back to its kind. The reverse mapping is what lets
+// logstore route a generic Select[T] to the matching kind partition of a
+// sealed store instead of scanning the whole log.
+var (
+	decoders   = map[Kind]func([]byte) (Event, error){}
+	kindByType = map[reflect.Type]Kind{}
+)
+
+// register wires one concrete record type to its kind in both directions.
+func register[T Event](kind Kind) {
+	decoders[kind] = func(data []byte) (Event, error) {
+		var v T
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
 	}
-	return v, nil
+	kindByType[reflect.TypeFor[T]()] = kind
 }
 
-// decoders maps every record kind to its concrete decoder.
-var decoders = map[Kind]func([]byte) (Event, error){
-	KindLogin:             decodeAs[Login],
-	KindPasswordChanged:   decodeAs[PasswordChanged],
-	KindRecoveryChanged:   decodeAs[RecoveryChanged],
-	KindTwoSVEnrolled:     decodeAs[TwoSVEnrolled],
-	KindMessageSent:       decodeAs[MessageSent],
-	KindSearch:            decodeAs[Search],
-	KindFolderOpened:      decodeAs[FolderOpened],
-	KindContactsViewed:    decodeAs[ContactsViewed],
-	KindFilterCreated:     decodeAs[FilterCreated],
-	KindReplyToSet:        decodeAs[ReplyToSet],
-	KindMassDeletion:      decodeAs[MassDeletion],
-	KindSpamReported:      decodeAs[SpamReported],
-	KindPageCreated:       decodeAs[PageCreated],
-	KindPageHit:           decodeAs[PageHit],
-	KindPageDetected:      decodeAs[PageDetected],
-	KindPageTakedown:      decodeAs[PageTakedown],
-	KindLureSent:          decodeAs[LureSent],
-	KindCredentialPhished: decodeAs[CredentialPhished],
-	KindHijackStarted:     decodeAs[HijackStarted],
-	KindHijackAssessed:    decodeAs[HijackAssessed],
-	KindHijackEnded:       decodeAs[HijackEnded],
-	KindScamReply:         decodeAs[ScamReply],
-	KindMoneyWired:        decodeAs[MoneyWired],
-	KindNotificationSent:  decodeAs[NotificationSent],
-	KindClaimFiled:        decodeAs[ClaimFiled],
-	KindClaimAttempt:      decodeAs[ClaimAttempt],
-	KindClaimResolved:     decodeAs[ClaimResolved],
-	KindRemission:         decodeAs[Remission],
+func init() {
+	register[Login](KindLogin)
+	register[PasswordChanged](KindPasswordChanged)
+	register[RecoveryChanged](KindRecoveryChanged)
+	register[TwoSVEnrolled](KindTwoSVEnrolled)
+	register[MessageSent](KindMessageSent)
+	register[Search](KindSearch)
+	register[FolderOpened](KindFolderOpened)
+	register[ContactsViewed](KindContactsViewed)
+	register[FilterCreated](KindFilterCreated)
+	register[ReplyToSet](KindReplyToSet)
+	register[MassDeletion](KindMassDeletion)
+	register[SpamReported](KindSpamReported)
+	register[PageCreated](KindPageCreated)
+	register[PageHit](KindPageHit)
+	register[PageDetected](KindPageDetected)
+	register[PageTakedown](KindPageTakedown)
+	register[LureSent](KindLureSent)
+	register[CredentialPhished](KindCredentialPhished)
+	register[HijackStarted](KindHijackStarted)
+	register[HijackAssessed](KindHijackAssessed)
+	register[HijackEnded](KindHijackEnded)
+	register[ScamReply](KindScamReply)
+	register[MoneyWired](KindMoneyWired)
+	register[NotificationSent](KindNotificationSent)
+	register[ClaimFiled](KindClaimFiled)
+	register[ClaimAttempt](KindClaimAttempt)
+	register[ClaimResolved](KindClaimResolved)
+	register[Remission](KindRemission)
+}
+
+// KindFor reports the Kind emitted by the concrete record type T. ok is
+// false when T is not a registered concrete type (notably the Event
+// interface itself), in which case callers must fall back to scanning.
+func KindFor[T Event]() (k Kind, ok bool) {
+	k, ok = kindByType[reflect.TypeFor[T]()]
+	return k, ok
 }
 
 // Decode reconstructs a concrete record from its kind and JSON payload.

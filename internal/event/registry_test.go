@@ -1,0 +1,50 @@
+package event
+
+import "testing"
+
+func TestKindForConcreteTypes(t *testing.T) {
+	cases := []struct {
+		got  func() (Kind, bool)
+		want Kind
+	}{
+		{KindFor[Login], KindLogin},
+		{KindFor[MessageSent], KindMessageSent},
+		{KindFor[PageHit], KindPageHit},
+		{KindFor[ClaimResolved], KindClaimResolved},
+		{KindFor[Remission], KindRemission},
+	}
+	for _, c := range cases {
+		k, ok := c.got()
+		if !ok || k != c.want {
+			t.Errorf("KindFor = %q, %v; want %q", k, ok, c.want)
+		}
+	}
+}
+
+// The Event interface itself satisfies the constraint but is not a
+// concrete record type; lookups through it must report ok=false so
+// logstore falls back to a full scan.
+func TestKindForInterfaceFallsBack(t *testing.T) {
+	if k, ok := KindFor[Event](); ok {
+		t.Errorf("KindFor[Event] = %q, want miss", k)
+	}
+}
+
+// Every kind with a decoder must have a reverse type mapping and vice
+// versa — a gap would silently route Select[T] to a scan (correct but
+// slow) or break NDJSON decoding.
+func TestRegistryBidirectional(t *testing.T) {
+	if len(decoders) != len(kindByType) {
+		t.Fatalf("decoders=%d kindByType=%d, registry out of sync", len(decoders), len(kindByType))
+	}
+	seen := map[Kind]bool{}
+	for _, k := range kindByType {
+		if seen[k] {
+			t.Fatalf("kind %q registered for two types", k)
+		}
+		seen[k] = true
+		if _, ok := decoders[k]; !ok {
+			t.Errorf("kind %q has a type mapping but no decoder", k)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package logstore
+
+import (
+	"testing"
+	"time"
+
+	"manualhijack/internal/event"
+	"manualhijack/internal/identity"
+)
+
+// benchStore interleaves 28 kinds' worth of traffic shape: mostly logins
+// and page hits, with a thin stream of the rarer analysis targets. The
+// microbenchmarks select a rare kind (MoneyWired, ~1% of records) — the
+// regime where the kind index pays: an indexed select visits only the
+// matches while a scan visits everything.
+func benchStore(n int) *Store {
+	s := New()
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		switch {
+		case i%100 == 0:
+			s.Append(event.MoneyWired{Base: event.Base{Time: at}, VictimAccount: 1, Amount: 50})
+		case i%5 == 0:
+			s.Append(event.PageHit{Base: event.Base{Time: at}, Page: event.PageID(i % 40), Method: "GET"})
+		default:
+			s.Append(login(at, identity.AccountID(i%97+1), event.ActorOwner))
+		}
+	}
+	return s
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	s := benchStore(200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Select[event.MoneyWired](s); len(got) != 2000 {
+			b.Fatalf("selected %d", len(got))
+		}
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) {
+	s := benchStore(200000)
+	s.Seal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Select[event.MoneyWired](s); len(got) != 2000 {
+			b.Fatalf("selected %d", len(got))
+		}
+	}
+}
+
+func BenchmarkBetweenScan(b *testing.B) {
+	s := benchStore(200000)
+	from, to := t0.Add(1000*time.Second), t0.Add(2000*time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Between(from, to); len(got) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+func BenchmarkBetweenIndexed(b *testing.B) {
+	s := benchStore(200000)
+	s.Seal()
+	from, to := t0.Add(1000*time.Second), t0.Add(2000*time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Between(from, to); len(got) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+func BenchmarkKindCountsScan(b *testing.B) {
+	s := benchStore(200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.KindCounts(); len(got) != 3 {
+			b.Fatalf("kinds = %d", len(got))
+		}
+	}
+}
+
+func BenchmarkKindCountsIndexed(b *testing.B) {
+	s := benchStore(200000)
+	s.Seal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.KindCounts(); len(got) != 3 {
+			b.Fatalf("kinds = %d", len(got))
+		}
+	}
+}

@@ -7,6 +7,15 @@
 // time window. Both properties are modeled here: MapReduce provides a
 // deterministic parallel aggregation framework, and Retention applies
 // kind-scoped erasure windows.
+//
+// A store has two phases. While the simulation runs it is append-only and
+// reads scan the full log. Once the world ends, Seal freezes it: appends
+// become illegal, a per-kind index is built, and every read routes through
+// it — Select/SelectWhere touch only the matching kind partition, Between
+// binary-searches the time-ordered log, and KindCounts answers from the
+// index without visiting records. Sealing is what makes the study's
+// analysis fan-out cheap: dozens of concurrent read-only analyses over the
+// same sealed store, each proportional to the records it actually uses.
 package logstore
 
 import (
@@ -20,10 +29,14 @@ import (
 
 // Store is an append-only event log. Appends must be time-ordered (the
 // simulation clock guarantees this); reads may happen concurrently with
-// each other but not with appends.
+// each other but not with appends or Sanitize.
 type Store struct {
 	mu     sync.Mutex
 	events []event.Event
+	// sealed marks the store read-only; byKind is the per-kind partition
+	// index built by Seal, each partition preserving log order.
+	sealed bool
+	byKind map[event.Kind][]event.Event
 }
 
 // New returns an empty store.
@@ -31,15 +44,53 @@ func New() *Store { return &Store{} }
 
 // Append adds a record. Records must arrive in non-decreasing time order;
 // out-of-order appends panic because they indicate a simulation bug that
-// would silently corrupt every time-windowed analysis.
+// would silently corrupt every time-windowed analysis. Appending to a
+// sealed store panics for the same reason: the analysis phase relies on
+// the log being frozen.
 func (s *Store) Append(e event.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sealed {
+		panic("logstore: append to sealed store: " + string(e.EventKind()))
+	}
 	if n := len(s.events); n > 0 && e.When().Before(s.events[n-1].When()) {
 		panic("logstore: out-of-order append: " + string(e.EventKind()) +
 			" at " + e.When().String() + " after " + s.events[n-1].When().String())
 	}
 	s.events = append(s.events, e)
+}
+
+// Seal freezes the store and builds the kind index. Further appends panic;
+// reads become index-backed and safe to run concurrently. Sealing an
+// already-sealed store is a no-op. World.Run seals its log when the
+// simulation window ends.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return
+	}
+	s.rebuildIndexLocked()
+	s.sealed = true
+}
+
+// Sealed reports whether the store has been frozen.
+func (s *Store) Sealed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealed
+}
+
+// rebuildIndexLocked recomputes the per-kind partitions from the event
+// slice. Appends are time-ordered, so filtering by kind preserves order
+// within each partition.
+func (s *Store) rebuildIndexLocked() {
+	idx := make(map[event.Kind][]event.Event)
+	for _, e := range s.events {
+		k := e.EventKind()
+		idx[k] = append(idx[k], e)
+	}
+	s.byKind = idx
 }
 
 // Len returns the number of records.
@@ -64,37 +115,81 @@ func (s *Store) snapshot() []event.Event {
 	return s.events
 }
 
-// Select returns every record of concrete type T, in order.
+// kindPartition returns the sealed index partition for k. ok is false on
+// an unsealed store, where callers must fall back to scanning.
+func (s *Store) kindPartition(k event.Kind) (part []event.Event, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sealed {
+		return nil, false
+	}
+	return s.byKind[k], true
+}
+
+// Select returns every record of concrete type T, in order. On a sealed
+// store only the matching kind partition is visited.
 func Select[T event.Event](s *Store) []T {
 	var out []T
-	s.Scan(func(e event.Event) {
-		if t, ok := e.(T); ok {
-			out = append(out, t)
-		}
-	})
+	forEachOfType(s, func(t T) { out = append(out, t) })
 	return out
 }
 
 // SelectWhere returns every record of type T matching pred, in order.
 func SelectWhere[T event.Event](s *Store, pred func(T) bool) []T {
 	var out []T
-	s.Scan(func(e event.Event) {
-		if t, ok := e.(T); ok && pred(t) {
+	forEachOfType(s, func(t T) {
+		if pred(t) {
 			out = append(out, t)
 		}
 	})
 	return out
 }
 
-// Between returns records with from <= When < to, preserving order.
-func (s *Store) Between(from, to time.Time) []event.Event {
-	var out []event.Event
+// forEachOfType visits every record of concrete type T in log order,
+// routing through the kind index when the store is sealed and T is a
+// registered record type.
+func forEachOfType[T event.Event](s *Store, fn func(T)) {
+	if k, ok := event.KindFor[T](); ok {
+		if part, sealed := s.kindPartition(k); sealed {
+			for _, e := range part {
+				if t, ok := e.(T); ok {
+					fn(t)
+				}
+			}
+			return
+		}
+	}
 	s.Scan(func(e event.Event) {
+		if t, ok := e.(T); ok {
+			fn(t)
+		}
+	})
+}
+
+// Between returns records with from <= When < to, preserving order. On a
+// sealed store the window is located by binary search and the returned
+// slice aliases the frozen log; callers must treat it as read-only.
+func (s *Store) Between(from, to time.Time) []event.Event {
+	s.mu.Lock()
+	sealed := s.sealed
+	events := s.events
+	s.mu.Unlock()
+	if sealed {
+		lo := sort.Search(len(events), func(i int) bool { return !events[i].When().Before(from) })
+		hi := sort.Search(len(events), func(i int) bool { return !events[i].When().Before(to) })
+		if lo >= hi {
+			return nil
+		}
+		// Full-cap slice so an appending caller cannot clobber the log.
+		return events[lo:hi:hi]
+	}
+	var out []event.Event
+	for _, e := range events {
 		w := e.When()
 		if !w.Before(from) && w.Before(to) {
 			out = append(out, e)
 		}
-	})
+	}
 	return out
 }
 
@@ -109,26 +204,25 @@ type Retention struct {
 // Sanitize erases records covered by the policy that are older than
 // now-policy.Window. It returns the number of erased records. This models
 // the short retention of authentication logs that forced the paper's
-// authors to draw several datasets over only a few weeks.
+// authors to draw several datasets over only a few weeks. Sanitizing a
+// sealed store rebuilds the kind index so partitions never serve erased
+// records; like appends, it must not run concurrently with reads.
 func (s *Store) Sanitize(now time.Time, policy Retention) int {
 	cutoff := now.Add(-policy.Window)
-	match := func(k event.Kind) bool {
-		if policy.Kinds == nil {
-			return true
+	// Build the kind set once instead of rescanning policy.Kinds per record.
+	var kinds map[event.Kind]bool
+	if policy.Kinds != nil {
+		kinds = make(map[event.Kind]bool, len(policy.Kinds))
+		for _, k := range policy.Kinds {
+			kinds[k] = true
 		}
-		for _, pk := range policy.Kinds {
-			if pk == k {
-				return true
-			}
-		}
-		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kept := s.events[:0]
 	erased := 0
 	for _, e := range s.events {
-		if e.When().Before(cutoff) && match(e.EventKind()) {
+		if e.When().Before(cutoff) && (kinds == nil || kinds[e.EventKind()]) {
 			erased++
 			continue
 		}
@@ -139,6 +233,9 @@ func (s *Store) Sanitize(now time.Time, policy Retention) int {
 		s.events[i] = nil
 	}
 	s.events = kept
+	if s.sealed && erased > 0 {
+		s.rebuildIndexLocked()
+	}
 	return erased
 }
 
@@ -227,9 +324,25 @@ func CountBy[K comparable](s *Store, key func(event.Event) (K, bool)) map[K]int 
 }
 
 // KindCounts tallies records by kind (an aggregate useful for log-volume
-// sanity checks and the hijacksim binary).
+// sanity checks and the hijacksim binary). A sealed store answers from
+// the kind index in O(kinds); an unsealed one scans.
 func (s *Store) KindCounts() map[event.Kind]int {
-	return CountBy(s, func(e event.Event) (event.Kind, bool) { return e.EventKind(), true })
+	s.mu.Lock()
+	if s.sealed {
+		out := make(map[event.Kind]int, len(s.byKind))
+		for k, part := range s.byKind {
+			out[k] = len(part)
+		}
+		s.mu.Unlock()
+		return out
+	}
+	events := s.events
+	s.mu.Unlock()
+	out := make(map[event.Kind]int)
+	for _, e := range events {
+		out[e.EventKind()]++
+	}
+	return out
 }
 
 // SortedKinds returns the kinds present in the store, sorted.
