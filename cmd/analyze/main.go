@@ -4,10 +4,15 @@
 // separation between log collection and map-reduce analysis the paper's
 // methodology describes.
 //
+// The load seals the store (a dumped log is complete by construction), so
+// every analysis gets the kind-indexed fast paths, and the full analysis
+// registry — the same list RunStudy iterates — fans out over a worker
+// pool. Only analyses needing the live account directory are skipped.
+//
 // Usage:
 //
-//	hijacksim -pop 8000 -days 30 -decoys 100 -events world.ndjson
-//	analyze -events world.ndjson
+//	hijacksim -pop 8000 -days 30 -decoys 100 -events world.ndjson.gz
+//	analyze -events world.ndjson.gz [-skip-corrupt] [-par N] [-decode-shards N]
 package main
 
 import (
@@ -16,35 +21,55 @@ import (
 	"os"
 	"time"
 
-	"manualhijack/internal/analysis"
-	"manualhijack/internal/behavior"
-	"manualhijack/internal/geo"
+	"manualhijack/internal/core"
 	"manualhijack/internal/logstore"
 	"manualhijack/internal/report"
 )
 
 func main() {
-	eventsIn := flag.String("events", "", "NDJSON event log to analyze (required)")
+	eventsIn := flag.String("events", "", "NDJSON event log to analyze (required; .gz detected transparently)")
+	skipCorrupt := flag.Bool("skip-corrupt", false,
+		"skip malformed, truncated, or out-of-order lines instead of failing; every drop is reported")
+	par := flag.Int("par", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("decode-shards", 0, "parallel NDJSON decode shards (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	if *eventsIn == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -events is required")
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*eventsIn)
+	start := time.Now()
+	s, st, err := logstore.ReadNDJSONFile(*eventsIn, logstore.ReadOptions{
+		SkipCorrupt: *skipCorrupt,
+		Shards:      *shards,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		if !*skipCorrupt {
+			fmt.Fprintln(os.Stderr, "analyze: (re-run with -skip-corrupt to drop bad lines and keep going)")
+		}
 		os.Exit(1)
 	}
-	defer f.Close()
-	s, err := logstore.ReadNDJSON(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-		os.Exit(1)
+	fmt.Printf("loaded %d records from %s in %s (sealed, kind-indexed)\n",
+		st.Records, *eventsIn, time.Since(start).Round(time.Millisecond))
+	if st.Legacy {
+		fmt.Println("note: headerless legacy dump — observation window estimated from record timestamps")
 	}
-	fmt.Printf("loaded %d records from %s\n\n", s.Len(), *eventsIn)
+	if st.Dropped > 0 {
+		fmt.Printf("warning: dropped %d malformed line(s)\n", st.Dropped)
+	}
+	if st.OutOfOrder > 0 {
+		fmt.Printf("warning: dropped %d out-of-order record(s)\n", st.OutOfOrder)
+	}
+	if st.Missing > 0 {
+		fmt.Printf("warning: dump truncated — header declares %d more record(s) than the file holds\n", st.Missing)
+	}
+	if st.Truncated {
+		fmt.Println("warning: input ended mid-stream; analyzed the intact prefix")
+	}
+	fmt.Println()
 
-	// Log overview.
+	// Log overview, answered from the sealed kind index.
 	kinds := s.KindCounts()
 	rows := [][]string{}
 	for _, k := range s.SortedKinds() {
@@ -53,63 +78,28 @@ func main() {
 	report.Table(os.Stdout, "records by kind", []string{"kind", "count"}, rows)
 	fmt.Println()
 
-	// Lifecycle funnel.
-	lc := analysis.ComputeLifecycle(s)
-	fmt.Printf("lifecycle: %d lures → %d creds → %d entered → %d exploited → %d claims → %d recovered\n",
+	// The observation window: from the dump header when present, else the
+	// decoded records' time range (legacy dumps).
+	winStart, winEnd := st.Meta.Start, st.Meta.End
+	if winStart.IsZero() {
+		winStart = st.First
+	}
+	if winEnd.IsZero() {
+		winEnd = st.Last.Add(time.Second)
+	}
+
+	r, skipped := core.RunAnalyses(core.AnalysisInput{
+		Log:   s,
+		Start: winStart,
+		End:   winEnd,
+		Plan:  core.DefaultIPPlan(),
+	}, *par)
+
+	// The lifecycle funnel headline (also the CI smoke target).
+	lc := r.Lifecycle
+	fmt.Printf("lifecycle: %d lures → %d creds → %d entered → %d exploited → %d claims → %d recovered\n\n",
 		lc.LuresDelivered, lc.CredentialsCaptured, lc.AccountsEntered,
 		lc.AccountsExploited, lc.ClaimsFiled, lc.AccountsRecovered)
-	fmt.Println()
 
-	// Log-only reproductions of the paper's artifacts.
-	t3 := analysis.ComputeTable3(s)
-	if t3.N > 0 {
-		report.Bars(os.Stdout, "Table 3 — hijacker search terms", t3.Terms, 10)
-		fmt.Println()
-	}
-	f7 := analysis.ComputeFigure7(s)
-	if f7.Submitted > 0 {
-		fmt.Printf("Figure 7: %d decoys, accessed %s, ≤30min %s, ≤7h %s\n\n",
-			f7.Submitted, report.Pct(f7.AccessedShare),
-			report.Pct(f7.Within30Min), report.Pct(f7.Within7Hours))
-	}
-	f8 := analysis.ComputeFigure8(s)
-	if f8.IPDays > 0 {
-		fmt.Printf("Figure 8: %.1f accounts/IP-day (max %d) over %d IP-days; password-ok %s\n\n",
-			f8.MeanAccountsPerIPDay, f8.MaxAccountsPerIPDay, f8.IPDays,
-			report.Pct(f8.PasswordOKShare))
-	}
-	a := analysis.ComputeAssessment(s, 575)
-	if a.Cases > 0 {
-		fmt.Printf("§5.2: %d cases, mean assessment %s, exploited %s\n\n",
-			a.Cases, a.MeanDuration.Round(time.Second), report.Pct(a.ExploitedShare))
-	}
-	// Attribution (the synthetic IP plan is deterministic, so geolocation
-	// of dumped logs works without the original world).
-	plan := geo.NewIPPlan(4)
-	f11 := analysis.ComputeFigure11(s, plan, 3000)
-	if f11.Cases > 0 {
-		report.Bars(os.Stdout, "Figure 11 — hijack-case IP countries", f11.Shares, 8)
-		fmt.Println()
-	}
-	f12 := analysis.ComputeFigure12(s, 300)
-	if f12.Phones > 0 {
-		report.Bars(os.Stdout, "Figure 12 — hijacker 2SV phone countries", f12.Shares, 8)
-		fmt.Println()
-	}
-	ws := analysis.ComputeWorkSchedule(s)
-	if ws.Logins > 0 {
-		fmt.Printf("§5.5: weekend %s, lunch dip %s over %d hijacker logins\n\n",
-			report.Pct(ws.WeekendShare), report.Pct(ws.LunchDip), ws.Logins)
-	}
-	m := analysis.ComputeMonetization(s)
-	if m.PleaRecipients > 0 {
-		fmt.Printf("funnel: %d pleas → %d engaged → %d reached crew → %d wires ($%.0f)\n\n",
-			m.PleaRecipients, m.Replies, m.ReachedCrew, m.Payments, m.Revenue)
-	}
-	ev := analysis.EvaluateBehaviorDetector(s, behavior.DefaultConfig())
-	if ev.HijackSessions > 0 {
-		fmt.Printf("behavioral detector replay: precision %s recall %s exposure %s\n",
-			report.Pct(ev.Precision), report.Pct(ev.Recall),
-			ev.MeanExposure.Round(time.Second))
-	}
+	report.RenderOffline(os.Stdout, r, *eventsIn, skipped)
 }

@@ -24,7 +24,7 @@ func main() {
 	pop := flag.Int("pop", 8000, "population size")
 	days := flag.Int("days", 30, "window length in days")
 	decoys := flag.Int("decoys", 0, "decoy accounts to inject")
-	eventsOut := flag.String("events", "", "write the event log as NDJSON to this file")
+	eventsOut := flag.String("events", "", "write the event log as NDJSON to this file (a .gz suffix gzip-compresses)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*seed)
@@ -64,20 +64,13 @@ func main() {
 		crewRows)
 
 	if *eventsOut != "" {
-		if err := dumpNDJSON(w, *eventsOut); err != nil {
+		// WriteNDJSONFile checks the file's Close error: a full disk or
+		// write-behind failure must not report a truncated dump as success.
+		meta := logstore.Meta{Start: w.Cfg.Start, End: w.End(), Seed: *seed}
+		if err := logstore.WriteNDJSONFile(*eventsOut, w.Log, meta); err != nil {
 			fmt.Fprintf(os.Stderr, "hijacksim: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d events to %s\n", w.Log.Len(), *eventsOut)
 	}
-}
-
-// dumpNDJSON writes the event log in the format cmd/analyze reads.
-func dumpNDJSON(w *core.World, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return logstore.WriteNDJSON(f, w.Log)
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"manualhijack/internal/analysis"
+	"manualhijack/internal/behavior"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+)
+
+// The analysis registry is the single list of every study analysis.
+// RunStudy iterates it with era-appropriate world inputs, and cmd/analyze
+// iterates it over a single dumped log — one source of truth, so the
+// in-process and offline pipelines cannot drift.
+
+// Era identifies which observation-window world an analysis draws from in
+// the full study (Table 1's datasets come from different time windows).
+type Era int
+
+const (
+	Era2011 Era = iota // October–December 2011: retention baseline, contact risk
+	Era2012            // November 2012: most datasets, decoys, Forms pages
+	Era2013            // February 2013: recovery claims
+	Era2014            // January 2014: attribution, curated phishing review
+	EraBase            // low-intensity world calibrated to the paper's base rates
+	eraCount
+)
+
+func (e Era) String() string {
+	switch e {
+	case Era2011:
+		return "2011"
+	case Era2012:
+		return "2012"
+	case Era2013:
+		return "2013"
+	case Era2014:
+		return "2014"
+	case EraBase:
+		return "base"
+	}
+	return "?"
+}
+
+// AnalysisInput is everything a registry analysis may read. Log is always
+// set. Start/End bound the observation window — offline loads take them
+// from the dump header, because the first record's timestamp is not the
+// window start. Plan is the synthetic IP plan (deterministic, so offline
+// callers reconstruct it with DefaultIPPlan). Dir is the live account
+// directory; it is nil for offline replay, which disables the NeedsDir
+// analyses — population state never reaches the event log.
+type AnalysisInput struct {
+	Log   *logstore.Store
+	Start time.Time
+	End   time.Time
+	Plan  *geo.IPPlan
+	Dir   *identity.Directory
+	// Scale is the study's sample-size scale; 0 means 1.0.
+	Scale float64
+}
+
+// Analysis is one registry entry: a named computation that reads an
+// AnalysisInput and writes exactly one StudyReport field — the property
+// that makes the fan-out deterministic at any parallelism.
+type Analysis struct {
+	Name string
+	Era  Era
+	// NeedsDir marks analyses that consult the live directory (contact
+	// graphs, secondary-email state, activity). They are skipped when
+	// replaying a dumped log, where only events survive.
+	NeedsDir bool
+	Run      func(in AnalysisInput, r *StudyReport)
+}
+
+// registry holds every analysis of the study, in report order.
+var registry = []Analysis{
+	// ---- 2011 era ----
+	{Name: "retention-2011", Era: Era2011, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Retention2011 = analysis.ComputeRetention(in.Log, 600)
+	}},
+	{Name: "contact-risk", Era: Era2011, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
+		// Cohorts form four days after background campaigns stop, so the
+		// backlog of mass-campaign conversions is flushed and the outcome
+		// window isolates the hijacker contact-targeting loop.
+		cutoff := in.Start.Add(19 * 24 * time.Hour)
+		r.ContactRisk = analysis.ComputeContactRisk(
+			in.Log, in.Dir, cutoff, 8*24*time.Hour, 56*24*time.Hour,
+			scaleInt(3000, in.Scale, 200))
+	}},
+
+	// ---- 2012 era — the big fan-out ----
+	{Name: "figure-3", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig3 = analysis.ComputeFigure3(in.Log, 100)
+	}},
+	{Name: "figure-4", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig4 = analysis.ComputeFigure4(in.Log, 100)
+	}},
+	{Name: "figure-5", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig5 = analysis.ComputeFigure5(in.Log, 100, 25)
+	}},
+	{Name: "figure-6", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig6 = analysis.ComputeFigure6(in.Log, 100)
+	}},
+	{Name: "figure-7", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig7 = analysis.ComputeFigure7(in.Log)
+	}},
+	{Name: "figure-8", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig8 = analysis.ComputeFigure8(in.Log)
+	}},
+	{Name: "table-3", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Table3 = analysis.ComputeTable3(in.Log)
+	}},
+	{Name: "assessment", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Assessment = analysis.ComputeAssessment(in.Log, 575)
+	}},
+	{Name: "exploitation", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Exploitation = analysis.ComputeExploitation(in.Log, 575)
+	}},
+	{Name: "retention-2012", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Retention2012 = analysis.ComputeRetention(in.Log, 575)
+	}},
+	{Name: "figure-9", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig9 = analysis.ComputeFigure9(in.Log, 5000)
+	}},
+	{Name: "figure-12", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig12 = analysis.ComputeFigure12(in.Log, 300)
+	}},
+	{Name: "behavior-detector", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Behavior = analysis.EvaluateBehaviorDetector(in.Log, behavior.DefaultConfig())
+	}},
+	{Name: "risk-sweep", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.RiskSweep = analysis.SweepRiskThreshold(in.Log,
+			[]float64{0.3, 0.4, 0.5, 0.58, 0.62, 0.7, 0.8, 0.9})
+	}},
+	{Name: "work-schedule", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Schedule = analysis.ComputeWorkSchedule(in.Log)
+	}},
+	{Name: "doppelganger", Era: Era2012, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Doppelganger = analysis.EvaluateDoppelgangerDetector(in.Log, in.Dir, 0.75)
+	}},
+	{Name: "monetization", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Monetization = analysis.ComputeMonetization(in.Log)
+	}},
+	{Name: "lifecycle", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Lifecycle = analysis.ComputeLifecycle(in.Log)
+	}},
+
+	// ---- 2013 era ----
+	{Name: "figure-10", Era: Era2013, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig10 = analysis.ComputeFigure10(in.Log, in.Start, in.End)
+	}},
+	{Name: "recovery-channels", Era: Era2013, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
+		secTotal, secRecycled := secondaryCountsDir(in.Dir)
+		r.Channels = analysis.ComputeRecoveryChannels(in.Log, secTotal, secRecycled)
+	}},
+	{Name: "remission", Era: Era2013, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Remission = analysis.ComputeRemission(in.Log)
+	}},
+
+	// ---- 2014 era ----
+	{Name: "table-2", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Table2 = analysis.ComputeTable2(in.Log, 100)
+	}},
+	{Name: "url-share", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
+		r.URLShare = analysis.URLShare(in.Log, 100)
+	}},
+	{Name: "figure-11", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
+		r.Fig11 = analysis.ComputeFigure11(in.Log, in.Plan, 3000)
+	}},
+
+	// ---- base rates ----
+	{Name: "base-rates", Era: EraBase, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
+		active := 0
+		in.Dir.All(func(a *identity.Account) {
+			if a.Active(in.End) {
+				active++
+			}
+		})
+		r.BaseRates = analysis.ComputeBaseRates(in.Log, in.Start, in.End, active)
+	}},
+}
+
+// Registry returns the full analysis registry in report order. Callers
+// must not mutate the entries.
+func Registry() []Analysis {
+	return append([]Analysis(nil), registry...)
+}
+
+// worldInput packages a finished world for the registry.
+func worldInput(w *World, scale float64) AnalysisInput {
+	return AnalysisInput{
+		Log:   w.Log,
+		Start: w.Cfg.Start,
+		End:   w.End(),
+		Plan:  w.Plan,
+		Dir:   w.Dir,
+		Scale: scale,
+	}
+}
+
+// RunAnalyses fans every applicable registry analysis out over a worker
+// pool against one input (typically a dumped log reloaded by cmd/analyze)
+// and returns the report plus the names of analyses skipped because they
+// need the live directory. par follows StudyConfig.Parallelism semantics:
+// 0 means GOMAXPROCS, 1 runs sequentially. The result is deterministic at
+// any parallelism — every analysis writes a distinct report field.
+func RunAnalyses(in AnalysisInput, par int) (*StudyReport, []string) {
+	if in.Scale <= 0 {
+		in.Scale = 1
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	r := &StudyReport{}
+	jobs := make([]func(), 0, len(registry))
+	var skipped []string
+	for _, a := range registry {
+		if a.NeedsDir && in.Dir == nil {
+			skipped = append(skipped, a.Name)
+			continue
+		}
+		a := a
+		jobs = append(jobs, func() { a.Run(in, r) })
+	}
+	runAll(par, jobs)
+	return r, skipped
+}
+
+// secondaryCountsDir tallies the population's secondary-email totals for
+// the §6.3 channel-reliability estimate.
+func secondaryCountsDir(dir *identity.Directory) (total, recycled int) {
+	dir.All(func(a *identity.Account) {
+		if a.SecondaryEmail != "" {
+			total++
+			if a.SecondaryRecycled {
+				recycled++
+			}
+		}
+	})
+	return total, recycled
+}

@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"manualhijack/internal/analysis"
-	"manualhijack/internal/behavior"
-	"manualhijack/internal/identity"
 	"manualhijack/internal/recovery"
 )
 
@@ -234,81 +232,22 @@ func RunStudy(sc StudyConfig) *StudyReport {
 	r.Events2013 = w2013.Log.Len()
 	r.Events2014 = w2014.Log.Len()
 
-	runAll(par, []func(){
-		// 2011 era.
-		func() { r.Retention2011 = analysis.ComputeRetention(w2011.Log, 600) },
-		func() {
-			// Cohorts form four days after background campaigns stop, so
-			// the backlog of mass-campaign conversions is flushed and the
-			// outcome window isolates the hijacker contact-targeting loop.
-			cutoff := w2011.Cfg.Start.Add(19 * 24 * time.Hour)
-			r.ContactRisk = analysis.ComputeContactRisk(
-				w2011.Log, w2011.Dir, cutoff, 8*24*time.Hour, 56*24*time.Hour,
-				scaleInt(3000, sc.Scale, 200))
-		},
-
-		// 2012 era — the big fan-out.
-		func() { r.Fig3 = analysis.ComputeFigure3(w2012.Log, 100) },
-		func() { r.Fig4 = analysis.ComputeFigure4(w2012.Log, 100) },
-		func() { r.Fig5 = analysis.ComputeFigure5(w2012.Log, 100, 25) },
-		func() { r.Fig6 = analysis.ComputeFigure6(w2012.Log, 100) },
-		func() { r.Fig7 = analysis.ComputeFigure7(w2012.Log) },
-		func() { r.Fig8 = analysis.ComputeFigure8(w2012.Log) },
-		func() { r.Table3 = analysis.ComputeTable3(w2012.Log) },
-		func() { r.Assessment = analysis.ComputeAssessment(w2012.Log, 575) },
-		func() { r.Exploitation = analysis.ComputeExploitation(w2012.Log, 575) },
-		func() { r.Retention2012 = analysis.ComputeRetention(w2012.Log, 575) },
-		func() { r.Fig9 = analysis.ComputeFigure9(w2012.Log, 5000) },
-		func() { r.Fig12 = analysis.ComputeFigure12(w2012.Log, 300) },
-		func() { r.Behavior = analysis.EvaluateBehaviorDetector(w2012.Log, behavior.DefaultConfig()) },
-		func() {
-			r.RiskSweep = analysis.SweepRiskThreshold(w2012.Log,
-				[]float64{0.3, 0.4, 0.5, 0.58, 0.62, 0.7, 0.8, 0.9})
-		},
-		func() { r.Schedule = analysis.ComputeWorkSchedule(w2012.Log) },
-		func() { r.Doppelganger = analysis.EvaluateDoppelgangerDetector(w2012.Log, w2012.Dir, 0.75) },
-		func() { r.Monetization = analysis.ComputeMonetization(w2012.Log) },
-		func() { r.Lifecycle = analysis.ComputeLifecycle(w2012.Log) },
-
-		// 2013 era.
-		func() { r.Fig10 = analysis.ComputeFigure10(w2013.Log, w2013.Cfg.Start, w2013.End()) },
-		func() {
-			secTotal, secRecycled := secondaryCounts(w2013)
-			r.Channels = analysis.ComputeRecoveryChannels(w2013.Log, secTotal, secRecycled)
-		},
-		func() { r.Remission = analysis.ComputeRemission(w2013.Log) },
-
-		// 2014 era.
-		func() { r.Table2 = analysis.ComputeTable2(w2014.Log, 100) },
-		func() { r.URLShare = analysis.URLShare(w2014.Log, 100) },
-		func() { r.Fig11 = analysis.ComputeFigure11(w2014.Log, w2014.Plan, 3000) },
-
-		// Base rates.
-		func() {
-			active := 0
-			end := wBase.End()
-			wBase.Dir.All(func(a *identity.Account) {
-				if a.Active(end) {
-					active++
-				}
-			})
-			r.BaseRates = analysis.ComputeBaseRates(wBase.Log, wBase.Cfg.Start, end, active)
-		},
-	})
+	// Fan the shared analysis registry (registry.go) out over the sealed
+	// logs, each entry against its era's world.
+	inputs := [eraCount]AnalysisInput{
+		Era2011: worldInput(w2011, sc.Scale),
+		Era2012: worldInput(w2012, sc.Scale),
+		Era2013: worldInput(w2013, sc.Scale),
+		Era2014: worldInput(w2014, sc.Scale),
+		EraBase: worldInput(wBase, sc.Scale),
+	}
+	jobs := make([]func(), 0, len(registry))
+	for _, a := range registry {
+		a := a
+		in := inputs[a.Era]
+		jobs = append(jobs, func() { a.Run(in, r) })
+	}
+	runAll(par, jobs)
 
 	return r
-}
-
-// secondaryCounts tallies the population's secondary-email totals for the
-// §6.3 channel-reliability estimate.
-func secondaryCounts(w *World) (total, recycled int) {
-	w.Dir.All(func(a *identity.Account) {
-		if a.SecondaryEmail != "" {
-			total++
-			if a.SecondaryRecycled {
-				recycled++
-			}
-		}
-	})
-	return total, recycled
 }

@@ -163,7 +163,7 @@ func NewWorld(cfg Config) *World {
 	dir := identity.NewDirectory(rng, idCfg)
 
 	log := logstore.New()
-	plan := geo.NewIPPlan(4)
+	plan := DefaultIPPlan()
 
 	var analyzer *risk.Analyzer
 	if cfg.Auth.RiskEnabled {
@@ -245,6 +245,14 @@ func NewWorld(cfg Config) *World {
 		})
 	}
 	return w
+}
+
+// DefaultIPPlan returns the synthetic IP plan every world is built with.
+// The plan is deterministic, which is what lets offline analysis of a
+// dumped log (cmd/analyze) geolocate hijacker IPs without the original
+// world: reconstructing the plan reproduces the exact address blocks.
+func DefaultIPPlan() *geo.IPPlan {
+	return geo.NewIPPlan(4)
 }
 
 // End returns the end of the observation window.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"reflect"
+	"sort"
 )
 
 // The registry maps every record kind to its JSON decoder and every
@@ -64,6 +65,18 @@ func init() {
 func KindFor[T Event]() (k Kind, ok bool) {
 	k, ok = kindByType[reflect.TypeFor[T]()]
 	return k, ok
+}
+
+// RegisteredKinds returns every kind with a registered decoder, sorted —
+// the complete NDJSON vocabulary. Tests use it to ensure a new record
+// type cannot ship without codec (and so dump/load) coverage.
+func RegisteredKinds() []Kind {
+	out := make([]Kind, 0, len(decoders))
+	for k := range decoders {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Decode reconstructs a concrete record from its kind and JSON payload.

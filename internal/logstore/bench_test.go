@@ -1,6 +1,7 @@
 package logstore
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -72,6 +73,41 @@ func BenchmarkBetweenIndexed(b *testing.B) {
 		}
 	}
 }
+
+// ndjsonDump renders a ≥200k-record dump once; the decode benchmarks
+// re-read it per iteration. JSON unmarshal is the ingest CPU bottleneck,
+// so sharded decode should beat the sequential reader at GOMAXPROCS>1.
+var ndjsonDump []byte
+
+func ndjsonFixture(b *testing.B) []byte {
+	b.Helper()
+	if ndjsonDump == nil {
+		var buf bytes.Buffer
+		if err := WriteNDJSON(&buf, benchStore(200000)); err != nil {
+			b.Fatal(err)
+		}
+		ndjsonDump = buf.Bytes()
+	}
+	return ndjsonDump
+}
+
+func benchReadNDJSON(b *testing.B, shards int) {
+	dump := ndjsonFixture(b)
+	b.SetBytes(int64(len(dump)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _, err := ReadNDJSONWith(bytes.NewReader(dump), ReadOptions{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != 200000 || !s.Sealed() {
+			b.Fatalf("decoded %d records, sealed=%v", s.Len(), s.Sealed())
+		}
+	}
+}
+
+func BenchmarkReadNDJSONSequential(b *testing.B) { benchReadNDJSON(b, 1) }
+func BenchmarkReadNDJSONParallel(b *testing.B)   { benchReadNDJSON(b, 0) }
 
 func BenchmarkKindCountsScan(b *testing.B) {
 	s := benchStore(200000)

@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"manualhijack/internal/core"
@@ -15,7 +16,27 @@ func RenderStudy(w io.Writer, r *core.StudyReport) {
 	fmt.Fprintf(w, "Manual Account Hijacking — reproduction report\n")
 	fmt.Fprintf(w, "events: 2011=%d 2012=%d 2013=%d 2014=%d\n\n",
 		r.Events2011, r.Events2012, r.Events2013, r.Events2014)
+	renderArtifacts(w, r)
+}
 
+// RenderOffline writes the same artifact sections RenderStudy renders,
+// for a report computed from a single dumped log by cmd/analyze. skipped
+// names the registry analyses that could not run offline (they need the
+// live world's directory, which the event log does not carry); their
+// sections render as zeros.
+func RenderOffline(w io.Writer, r *core.StudyReport, source string, skipped []string) {
+	fmt.Fprintf(w, "Manual Account Hijacking — offline analysis of %s\n", source)
+	if len(skipped) > 0 {
+		fmt.Fprintf(w, "skipped (need the live world, not just its log): %s\n",
+			strings.Join(skipped, ", "))
+	}
+	fmt.Fprintln(w)
+	renderArtifacts(w, r)
+}
+
+// renderArtifacts writes every reproduced table and figure — the shared
+// body of the in-process and offline reports.
+func renderArtifacts(w io.Writer, r *core.StudyReport) {
 	// ---- §3 base rates ----
 	CompareTable(w, "§3 Base rates", []Compare{
 		{"§3", "manual hijacks / M active users / day", "≈9",

@@ -83,16 +83,18 @@ func (c *Counter) Top(k int) []Entry {
 func (c *Counter) Keys() int { return len(c.counts) }
 
 // Sample accumulates float64 observations and answers distribution queries.
-// The zero value is ready to use.
+// The zero value is ready to use. Observations are kept in insertion order;
+// order-statistic queries work on a separate lazily built sorted view, so
+// calling Percentile/Min/Max never reorders what Values returns.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs     []float64 // raw observations, insertion order
+	sorted []float64 // lazy sorted view; nil when stale
 }
 
 // Add appends an observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // AddDuration appends a duration observation in seconds.
@@ -128,11 +130,14 @@ func (s *Sample) Stddev() float64 {
 	return math.Sqrt(sum / float64(n))
 }
 
-func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+// sortedView returns the observations in ascending order without touching
+// the insertion-ordered xs slice. Rebuilt only after an Add.
+func (s *Sample) sortedView() []float64 {
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.xs...)
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
@@ -141,21 +146,21 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	xs := s.sortedView()
 	if p <= 0 {
-		return s.xs[0]
+		return xs[0]
 	}
 	if p >= 100 {
-		return s.xs[len(s.xs)-1]
+		return xs[len(xs)-1]
 	}
-	rank := p / 100 * float64(len(s.xs)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.xs[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Median returns the 50th percentile.
@@ -166,8 +171,7 @@ func (s *Sample) Min() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.xs[0]
+	return s.sortedView()[0]
 }
 
 // Max returns the largest observation, or 0 for an empty sample.
@@ -175,8 +179,8 @@ func (s *Sample) Max() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.xs[len(s.xs)-1]
+	xs := s.sortedView()
+	return xs[len(xs)-1]
 }
 
 // FracBelow returns the fraction of observations <= x (the empirical CDF
@@ -185,9 +189,9 @@ func (s *Sample) FracBelow(x float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
-	return float64(i) / float64(len(s.xs))
+	xs := s.sortedView()
+	i := sort.SearchFloat64s(xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(xs))
 }
 
 // CDFPoint is one point of an empirical CDF.
@@ -202,8 +206,7 @@ func (s *Sample) CDF(n int) []CDFPoint {
 	if len(s.xs) == 0 || n <= 0 {
 		return nil
 	}
-	s.ensureSorted()
-	lo, hi := s.xs[0], s.xs[len(s.xs)-1]
+	lo, hi := s.Min(), s.Max()
 	out := make([]CDFPoint, 0, n)
 	for i := 0; i < n; i++ {
 		x := lo
@@ -215,7 +218,10 @@ func (s *Sample) CDF(n int) []CDFPoint {
 	return out
 }
 
-// Values returns a copy of the raw observations.
+// Values returns a copy of the raw observations in insertion order. The
+// order is stable regardless of which distribution queries ran first:
+// Percentile, Min, Max, and friends sort a private view, never the
+// observations themselves.
 func (s *Sample) Values() []float64 { return append([]float64(nil), s.xs...) }
 
 // TimeSeries buckets event timestamps into fixed-width bins anchored at a

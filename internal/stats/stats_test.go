@@ -2,7 +2,6 @@ package stats
 
 import (
 	"math"
-	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -260,7 +259,43 @@ func TestValuesCopy(t *testing.T) {
 	if s.Max() != 3 {
 		t.Fatal("Values did not copy")
 	}
-	if !sort.Float64sAreSorted(s.Values()) {
-		t.Fatal("values should be sorted after Max query")
+}
+
+// Values must report observations in insertion order no matter which
+// distribution queries ran in between — the order-statistic methods sort a
+// private view, not the sample itself. (A regression here made analysis
+// output depend on whether a percentile had been asked for first.)
+func TestValuesInsertionOrderStable(t *testing.T) {
+	ins := []float64{5, 1, 4, 2, 3}
+	var s Sample
+	for _, x := range ins {
+		s.Add(x)
+	}
+	check := func(stage string) {
+		t.Helper()
+		got := s.Values()
+		for i, x := range ins {
+			if got[i] != x {
+				t.Fatalf("%s: Values()=%v, want insertion order %v", stage, got, ins)
+			}
+		}
+	}
+	check("before queries")
+	if s.Median() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatal("order statistics wrong")
+	}
+	if s.Percentile(25) != 2 || s.FracBelow(2) != 0.4 {
+		t.Fatal("percentile/CDF wrong")
+	}
+	s.CDF(3)
+	check("after order-statistic queries")
+
+	// Interleaved adds keep both the raw order and the sorted view honest.
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 5 {
+		t.Fatal("sorted view stale after Add")
+	}
+	if got := s.Values(); got[len(got)-1] != 0 {
+		t.Fatalf("new observation not last: %v", got)
 	}
 }
