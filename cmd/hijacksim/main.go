@@ -6,6 +6,12 @@
 // Usage:
 //
 //	hijacksim [-seed N] [-pop N] [-days N] [-decoys N] [-events file.ndjson]
+//	          [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// The profiling flags capture pprof CPU/heap profiles and a runtime trace
+// of the whole run for `go tool pprof` / `go tool trace` — the world
+// simulation is the study's hot path, and this binary is the smallest
+// harness that drives it.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"manualhijack/internal/core"
 	"manualhijack/internal/logstore"
+	"manualhijack/internal/profiling"
 	"manualhijack/internal/report"
 )
 
@@ -25,7 +32,18 @@ func main() {
 	days := flag.Int("days", 30, "window length in days")
 	decoys := flag.Int("decoys", 0, "decoy accounts to inject")
 	eventsOut := flag.String("events", "", "write the event log as NDJSON to this file (a .gz suffix gzip-compresses)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceOut,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hijacksim: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.PopulationN = *pop
@@ -72,5 +90,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d events to %s\n", w.Log.Len(), *eventsOut)
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "hijacksim: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	hijackstudy [-seed N] [-scale F] [-par N]
+//	hijackstudy [-seed N] [-scale F] [-par N] [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -scale shrinks populations and phishing volume for quick runs (0.2 runs
 // in well under a minute; 1.0 is the full study). -par bounds the study
 // engine's worker pool (0 = GOMAXPROCS, 1 = sequential); the report is
-// byte-identical for a fixed seed at any setting.
+// byte-identical for a fixed seed at any setting. The profiling flags
+// capture pprof CPU/heap profiles and a runtime trace of the whole run
+// (study + report rendering) for `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"manualhijack/internal/core"
+	"manualhijack/internal/profiling"
 	"manualhijack/internal/report"
 )
 
@@ -28,6 +31,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 1.0, "study scale in (0,1]")
 	par := flag.Int("par", 0, "study parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 1 {
@@ -38,6 +44,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hijackstudy: -par must be >= 0")
 		os.Exit(2)
 	}
+	stopProfiles, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceOut,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hijackstudy: %v\n", err)
+		os.Exit(1)
+	}
 	sc := core.DefaultStudyConfig(*seed)
 	sc.Scale = *scale
 	sc.Parallelism = *par
@@ -45,6 +58,10 @@ func main() {
 	start := time.Now()
 	r := core.RunStudy(sc)
 	report.RenderStudy(os.Stdout, r)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "hijackstudy: %v\n", err)
+		os.Exit(1)
+	}
 	effPar := *par
 	if effPar == 0 {
 		effPar = runtime.GOMAXPROCS(0)

@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+// BenchmarkWorldRun is the end-to-end simulation hot path: assemble and
+// run one small world per iteration. This is the macro-number the
+// scheduler and log-append micro-optimizations must move — world
+// simulation dominates study wall-clock (see BENCH_4.json).
+func BenchmarkWorldRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(42)
+		cfg.PopulationN = 2000
+		cfg.Days = 10
+		cfg.CampaignsPerDay = 8
+		w := NewWorld(cfg)
+		w.Run()
+		if w.Log.Len() == 0 {
+			b.Fatal("empty world log")
+		}
+	}
+}

@@ -129,3 +129,60 @@ func BenchmarkKindCountsIndexed(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAppend measures the simulation-side write path: one op is one
+// Append into a growing store (a fresh store every 8k records, so slice
+// growth is part of the amortized cost, as it is for a live world).
+func BenchmarkAppend(b *testing.B) {
+	const cycle = 8192
+	evs := make([]event.Event, cycle)
+	for i := range evs {
+		evs[i] = login(t0.Add(time.Duration(i)*time.Millisecond), identity.AccountID(i%97+1), event.ActorOwner)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s *Store
+	for i := 0; i < b.N; i++ {
+		j := i % cycle
+		if j == 0 {
+			s = New()
+		}
+		s.Append(evs[j])
+	}
+	_ = s
+}
+
+// BenchmarkSeal measures the freeze step World.Run pays once per world:
+// building the per-kind partition index over a 200k-record log.
+func BenchmarkSeal(b *testing.B) {
+	base := benchStore(200000).snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &Store{events: base}
+		s.Seal()
+	}
+}
+
+// BenchmarkAppendReserved is the steady-state write path of a world that
+// pre-sized its store from the config's scale hints: no growth copies, no
+// per-record allocation at all.
+func BenchmarkAppendReserved(b *testing.B) {
+	const cycle = 8192
+	evs := make([]event.Event, cycle)
+	for i := range evs {
+		evs[i] = login(t0.Add(time.Duration(i)*time.Millisecond), identity.AccountID(i%97+1), event.ActorOwner)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s *Store
+	for i := 0; i < b.N; i++ {
+		j := i % cycle
+		if j == 0 {
+			s = New()
+			s.Reserve(cycle)
+		}
+		s.Append(evs[j])
+	}
+	_ = s
+}

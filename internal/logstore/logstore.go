@@ -8,84 +8,139 @@
 // deterministic parallel aggregation framework, and Retention applies
 // kind-scoped erasure windows.
 //
-// A store has two phases. While the simulation runs it is append-only and
-// reads scan the full log. Once the world ends, Seal freezes it: appends
-// become illegal, a per-kind index is built, and every read routes through
-// it — Select/SelectWhere touch only the matching kind partition, Between
-// binary-searches the time-ordered log, and KindCounts answers from the
-// index without visiting records. Sealing is what makes the study's
-// analysis fan-out cheap: dozens of concurrent read-only analyses over the
-// same sealed store, each proportional to the records it actually uses.
+// # Store lifecycle: single-writer build, sealed concurrent reads
+//
+// A store has exactly two phases, and the synchronization contract differs
+// between them:
+//
+//   - Build phase. The store is owned by a single goroutine — the world's
+//     simulation loop, which is sequential by construction. Appends (and
+//     any interleaved reads or Sanitize calls) must all come from that
+//     owner; nothing is locked on this path, which is what makes Append a
+//     plain bounds-check-and-store.
+//   - Sealed phase. Seal freezes the log, builds a per-kind partition
+//     index, and publishes the frozen state with an atomic release-store.
+//     From then on any number of goroutines may read concurrently —
+//     Select/SelectWhere touch only the matching kind partition, Between
+//     binary-searches the time-ordered log, and KindCounts answers from
+//     the index without visiting records. Observing Sealed() == true is
+//     the cross-goroutine handoff: it happens-after everything the writer
+//     did.
+//
+// Misuse that is cheap to detect panics: appending to a sealed store, and
+// out-of-order appends. Cross-goroutine reads of an unsealed store cannot
+// be detected cheaply and are simply illegal — the race detector will
+// flag them (TestSealPublishHandoff pins the supported pattern).
+//
+// Sealing is what makes the study's analysis fan-out cheap: dozens of
+// concurrent read-only analyses over the same sealed store, each
+// proportional to the records it actually uses.
 package logstore
 
 import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manualhijack/internal/event"
 )
 
 // Store is an append-only event log. Appends must be time-ordered (the
-// simulation clock guarantees this); reads may happen concurrently with
-// each other but not with appends or Sanitize.
+// simulation clock guarantees this) and single-goroutine; reads may happen
+// concurrently only after Seal. See the package comment for the full
+// two-phase contract.
 type Store struct {
-	mu     sync.Mutex
+	// Build-phase state, owned by the writer goroutine until Seal.
 	events []event.Event
-	// sealed marks the store read-only; byKind is the per-kind partition
-	// index built by Seal, each partition preserving log order.
-	sealed bool
+	// last is the most recent append's timestamp, cached so the
+	// time-order check costs one When() call per record instead of
+	// re-extracting the predecessor's.
+	last time.Time
+
+	// sealed is the phase switch: Seal's release-store publishes events
+	// and byKind to readers that load-acquire it.
+	sealed atomic.Bool
+	// byKind is the per-kind partition index built by Seal, each
+	// partition preserving log order. All partitions share one backing
+	// array, allocated exactly once at its final size.
 	byKind map[event.Kind][]event.Event
 }
 
 // New returns an empty store.
 func New() *Store { return &Store{} }
 
+// Reserve grows the record slice to hold at least n records without
+// further allocation. Worlds that can estimate their event volume call it
+// once at assembly, so steady-state appends never trigger a growth copy.
+// Reserve follows the build-phase contract: writer goroutine only.
+func (s *Store) Reserve(n int) {
+	if n <= cap(s.events) {
+		return
+	}
+	grown := make([]event.Event, len(s.events), n)
+	copy(grown, s.events)
+	s.events = grown
+}
+
 // Append adds a record. Records must arrive in non-decreasing time order;
 // out-of-order appends panic because they indicate a simulation bug that
 // would silently corrupt every time-windowed analysis. Appending to a
 // sealed store panics for the same reason: the analysis phase relies on
-// the log being frozen.
+// the log being frozen. Append is the single-writer hot path — no lock is
+// taken; see the package comment.
 func (s *Store) Append(e event.Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sealed {
+	if s.sealed.Load() {
 		panic("logstore: append to sealed store: " + string(e.EventKind()))
 	}
-	if n := len(s.events); n > 0 && e.When().Before(s.events[n-1].When()) {
+	when := e.When()
+	if when.Before(s.last) {
 		panic("logstore: out-of-order append: " + string(e.EventKind()) +
-			" at " + e.When().String() + " after " + s.events[n-1].When().String())
+			" at " + when.String() + " after " + s.last.String())
 	}
+	s.last = when
 	s.events = append(s.events, e)
 }
 
-// Seal freezes the store and builds the kind index. Further appends panic;
-// reads become index-backed and safe to run concurrently. Sealing an
-// already-sealed store is a no-op. World.Run seals its log when the
-// simulation window ends.
+// Seal freezes the store, builds the kind index, and publishes both to
+// concurrent readers. Further appends panic; reads become index-backed
+// and safe to run from any goroutine. Sealing an already-sealed store is
+// a no-op. World.Run seals its log when the simulation window ends.
 func (s *Store) Seal() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sealed {
+	if s.sealed.Load() {
 		return
 	}
-	s.rebuildIndexLocked()
-	s.sealed = true
+	s.rebuildIndex()
+	s.sealed.Store(true)
 }
 
-// Sealed reports whether the store has been frozen.
+// Sealed reports whether the store has been frozen. A true result is an
+// acquire-load: it orders everything the sealing goroutine wrote before
+// the reader's subsequent reads.
 func (s *Store) Sealed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sealed
+	return s.sealed.Load()
 }
 
-// rebuildIndexLocked recomputes the per-kind partitions from the event
-// slice. Appends are time-ordered, so filtering by kind preserves order
-// within each partition.
-func (s *Store) rebuildIndexLocked() {
-	idx := make(map[event.Kind][]event.Event)
+// rebuildIndex recomputes the per-kind partitions from the event slice in
+// two passes: count per kind, then carve exact-size partitions out of one
+// shared backing array. Appends are time-ordered, so filtering by kind
+// preserves order within each partition. The three-index sub-slices make
+// partition overflow impossible by construction (an append past a
+// partition's cap would allocate away from the backing array rather than
+// clobber its neighbor).
+func (s *Store) rebuildIndex() {
+	counts := make(map[event.Kind]int, 32)
+	for _, e := range s.events {
+		counts[e.EventKind()]++
+	}
+	backing := make([]event.Event, len(s.events))
+	idx := make(map[event.Kind][]event.Event, len(counts))
+	off := 0
+	for k, n := range counts {
+		idx[k] = backing[off:off:off+n]
+		off += n
+	}
 	for _, e := range s.events {
 		k := e.EventKind()
 		idx[k] = append(idx[k], e)
@@ -94,33 +149,23 @@ func (s *Store) rebuildIndexLocked() {
 }
 
 // Len returns the number of records.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.events)
-}
+func (s *Store) Len() int { return len(s.events) }
 
 // Scan calls fn for every record in order.
 func (s *Store) Scan(fn func(event.Event)) {
-	for _, e := range s.snapshot() {
+	for _, e := range s.events {
 		fn(e)
 	}
 }
 
 // snapshot returns the current record slice. Callers must treat it as
 // read-only.
-func (s *Store) snapshot() []event.Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.events
-}
+func (s *Store) snapshot() []event.Event { return s.events }
 
 // kindPartition returns the sealed index partition for k. ok is false on
 // an unsealed store, where callers must fall back to scanning.
 func (s *Store) kindPartition(k event.Kind) (part []event.Event, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.sealed {
+	if !s.sealed.Load() {
 		return nil, false
 	}
 	return s.byKind[k], true
@@ -170,11 +215,8 @@ func forEachOfType[T event.Event](s *Store, fn func(T)) {
 // sealed store the window is located by binary search and the returned
 // slice aliases the frozen log; callers must treat it as read-only.
 func (s *Store) Between(from, to time.Time) []event.Event {
-	s.mu.Lock()
-	sealed := s.sealed
 	events := s.events
-	s.mu.Unlock()
-	if sealed {
+	if s.sealed.Load() {
 		lo := sort.Search(len(events), func(i int) bool { return !events[i].When().Before(from) })
 		hi := sort.Search(len(events), func(i int) bool { return !events[i].When().Before(to) })
 		if lo >= hi {
@@ -204,9 +246,11 @@ type Retention struct {
 // Sanitize erases records covered by the policy that are older than
 // now-policy.Window. It returns the number of erased records. This models
 // the short retention of authentication logs that forced the paper's
-// authors to draw several datasets over only a few weeks. Sanitizing a
-// sealed store rebuilds the kind index so partitions never serve erased
-// records; like appends, it must not run concurrently with reads.
+// authors to draw several datasets over only a few weeks. Sanitize is a
+// writer-side operation in both phases: like Append it must come from the
+// store's owning goroutine and must not run concurrently with reads. On a
+// sealed store it rebuilds the kind index so partitions never serve
+// erased records.
 func (s *Store) Sanitize(now time.Time, policy Retention) int {
 	cutoff := now.Add(-policy.Window)
 	// Build the kind set once instead of rescanning policy.Kinds per record.
@@ -217,8 +261,6 @@ func (s *Store) Sanitize(now time.Time, policy Retention) int {
 			kinds[k] = true
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	kept := s.events[:0]
 	erased := 0
 	for _, e := range s.events {
@@ -233,8 +275,8 @@ func (s *Store) Sanitize(now time.Time, policy Retention) int {
 		s.events[i] = nil
 	}
 	s.events = kept
-	if s.sealed && erased > 0 {
-		s.rebuildIndexLocked()
+	if s.sealed.Load() && erased > 0 {
+		s.rebuildIndex()
 	}
 	return erased
 }
@@ -327,19 +369,15 @@ func CountBy[K comparable](s *Store, key func(event.Event) (K, bool)) map[K]int 
 // sanity checks and the hijacksim binary). A sealed store answers from
 // the kind index in O(kinds); an unsealed one scans.
 func (s *Store) KindCounts() map[event.Kind]int {
-	s.mu.Lock()
-	if s.sealed {
+	if s.sealed.Load() {
 		out := make(map[event.Kind]int, len(s.byKind))
 		for k, part := range s.byKind {
 			out[k] = len(part)
 		}
-		s.mu.Unlock()
 		return out
 	}
-	events := s.events
-	s.mu.Unlock()
 	out := make(map[event.Kind]int)
-	for _, e := range events {
+	for _, e := range s.events {
 		out[e.EventKind()]++
 	}
 	return out

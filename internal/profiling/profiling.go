@@ -1,0 +1,93 @@
+// Package profiling wires the standard pprof/trace collectors into the
+// command-line binaries, so every optimization round starts from profile
+// evidence instead of guesses (ISSUE 4). The binaries expose it as
+// -cpuprofile/-memprofile/-trace flags; `go tool pprof` and
+// `go tool trace` read the outputs.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the output files; empty fields disable the collector.
+type Config struct {
+	CPUProfile string // pprof CPU profile, sampled over the whole run
+	MemProfile string // pprof allocs-space heap profile, written at Stop
+	Trace      string // runtime execution trace
+}
+
+// Start begins the enabled collectors. The returned stop function flushes
+// and closes them; call it exactly once (normally via defer) before the
+// process exits, or the profiles will be empty or truncated. A failure to
+// open or start any collector stops the ones already running and returns
+// the error, so a half-configured run never silently profiles less than
+// asked.
+func Start(cfg Config) (stop func() error, err error) {
+	var stops []func() error
+	stopAll := func() error {
+		// Stop in reverse start order; keep the first error.
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		stops = nil
+		return first
+	}
+	defer func() {
+		if err != nil {
+			stopAll()
+		}
+	}()
+
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if cfg.Trace != "" {
+		f, err := os.Create(cfg.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: start trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if cfg.MemProfile != "" {
+		path := cfg.MemProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// An up-to-date heap picture, not one lagging a GC cycle.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+	return stopAll, nil
+}

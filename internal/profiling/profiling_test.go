@@ -1,0 +1,61 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNothingEnabled(t *testing.T) {
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to say.
+	sink := 0
+	buf := make([]byte, 0, 1)
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+		if i%100_000 == 0 {
+			buf = append(make([]byte, 1024), buf...)
+		}
+	}
+	_ = sink
+	_ = buf
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	stop, err := Start(Config{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "x.pprof")})
+	if err == nil {
+		stop()
+		t.Fatal("unwritable profile path accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// benchOffsets returns a fixed pseudo-random schedule pattern (an LCG, so
+// no math/rand allocation noise) mixing near-term and far-term events —
+// the shape world agents produce: mostly short After()s with a tail of
+// day-scale bookings.
+func benchOffsets(n int) []time.Duration {
+	offs := make([]time.Duration, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range offs {
+		state = state*6364136223846793005 + 1442695040888963407
+		offs[i] = time.Duration(state%uint64(6*time.Hour)) + time.Millisecond
+	}
+	return offs
+}
+
+// BenchmarkClockSchedule is the scheduler round trip: push a batch of
+// events through the queue and dispatch them in order. One op is one
+// Schedule plus its dispatch. The handler is a shared no-op so the
+// numbers isolate the scheduler's own cost (heap maintenance and any
+// per-event allocation).
+func BenchmarkClockSchedule(b *testing.B) {
+	const batch = 1024
+	offs := benchOffsets(batch)
+	fn := func() {}
+	c := NewClock(Epoch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := batch
+		if b.N-done < n {
+			n = b.N - done
+		}
+		for j := 0; j < n; j++ {
+			c.Schedule(c.Now().Add(offs[j]), fn)
+		}
+		c.Drain()
+		done += n
+	}
+}
+
+// BenchmarkClockScheduleDeep holds a standing queue of 64k pending events
+// while scheduling and dispatching, so sift costs reflect a deep heap —
+// the regime a large world's agent population produces.
+func BenchmarkClockScheduleDeep(b *testing.B) {
+	const standing = 64 * 1024
+	const batch = 1024
+	offs := benchOffsets(standing)
+	fn := func() {}
+	c := NewClock(Epoch)
+	far := Epoch.Add(1000 * 24 * time.Hour)
+	for j := 0; j < standing; j++ {
+		c.Schedule(far.Add(offs[j]), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := batch
+		if b.N-done < n {
+			n = b.N - done
+		}
+		for j := 0; j < n; j++ {
+			c.Schedule(c.Now().Add(offs[j]), fn)
+		}
+		c.RunUntil(c.Now().Add(7 * time.Hour))
+		done += n
+	}
+}
+
+// BenchmarkClockEvery measures the periodic-tick path used by daily
+// agents: one op is one tick of a long-running Every chain.
+func BenchmarkClockEvery(b *testing.B) {
+	c := NewClock(Epoch)
+	ticks := 0
+	end := Epoch.Add(time.Duration(b.N+1) * time.Minute)
+	c.Every(time.Minute, end, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.RunUntil(end)
+	if ticks < b.N {
+		b.Fatalf("ticked %d times, want >= %d", ticks, b.N)
+	}
+}

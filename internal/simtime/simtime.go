@@ -3,14 +3,16 @@
 // that a simulated multi-year measurement campaign runs in milliseconds and
 // is perfectly reproducible.
 //
-// The scheduler is a binary-heap event queue with a deterministic tie-break:
-// events scheduled for the same instant fire in the order they were
-// scheduled. Handlers may schedule further events, including at the current
-// instant.
+// The scheduler is a value-typed 4-ary min-heap keyed on int64 UnixNanos
+// with a deterministic tie-break: events scheduled for the same instant
+// fire in the order they were scheduled. Handlers may schedule further
+// events, including at the current instant. The heap stores entries by
+// value (no per-event node allocation, no interface boxing) and compares
+// two machine words instead of calling time.Time methods, because
+// Schedule+dispatch is the innermost loop of every world simulation.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -22,33 +24,61 @@ var Epoch = time.Date(2011, time.January, 1, 0, 0, 0, 0, time.UTC)
 // Clock is a simulated clock combined with an event scheduler. The zero
 // value is not usable; call NewClock.
 type Clock struct {
-	now   time.Time
-	queue eventQueue
-	seq   uint64
+	now      time.Time
+	nowNanos int64
+	queue    []entry
+	seq      uint64
 	// running guards against re-entrant Run calls from handlers.
 	running bool
 }
 
+// entry is one pending event, stored by value in the heap. The key is the
+// instant as UnixNanos (every simulated instant in this codebase is within
+// the int64-nanosecond range, 1678–2262) with the scheduling sequence
+// number breaking ties FIFO. The original time.Time rides along so the
+// clock observed by handlers is bit-identical to what the scheduler was
+// given — reconstructing it from nanos could alter the internal
+// representation that report byte-determinism depends on.
+type entry struct {
+	at   int64
+	seq  uint64
+	when time.Time
+	fn   func()
+}
+
 // NewClock returns a clock set to start.
 func NewClock(start time.Time) *Clock {
-	return &Clock{now: start}
+	return &Clock{now: start, nowNanos: start.UnixNano()}
 }
 
 // Now returns the current simulated time.
 func (c *Clock) Now() time.Time { return c.now }
 
 // Len reports the number of pending events.
-func (c *Clock) Len() int { return c.queue.Len() }
+func (c *Clock) Len() int { return len(c.queue) }
+
+// Reserve grows the pending-event queue to hold at least n events without
+// further allocation. Worlds that know their expected event volume call it
+// once at assembly so steady-state scheduling never reallocates.
+func (c *Clock) Reserve(n int) {
+	if n <= cap(c.queue) {
+		return
+	}
+	q := make([]entry, len(c.queue), n)
+	copy(q, c.queue)
+	c.queue = q
+}
 
 // Schedule runs fn at the absolute instant at. Scheduling in the past is an
 // error in the simulation logic, so it panics rather than silently
 // reordering history.
 func (c *Clock) Schedule(at time.Time, fn func()) {
-	if at.Before(c.now) {
+	nanos := at.UnixNano()
+	if nanos < c.nowNanos {
 		panic(fmt.Sprintf("simtime: schedule at %s before now %s", at, c.now))
 	}
 	c.seq++
-	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
+	c.push(entry{at: nanos, seq: c.seq, when: at, fn: fn})
 }
 
 // After runs fn after d has elapsed from the current instant.
@@ -61,7 +91,9 @@ func (c *Clock) After(d time.Duration, fn func()) {
 
 // Every schedules fn at each multiple of period until end (exclusive),
 // starting one period from now. It is a convenience for periodic agents
-// such as daily work schedules.
+// such as daily work schedules. Ticks land exactly on period multiples:
+// each tick books the next relative to its own instant, not to whatever
+// the clock reads when other events interleave.
 func (c *Clock) Every(period time.Duration, end time.Time, fn func()) {
 	if period <= 0 {
 		panic("simtime: Every with non-positive period")
@@ -91,19 +123,18 @@ func (c *Clock) RunUntil(deadline time.Time) int {
 	c.running = true
 	defer func() { c.running = false }()
 
+	limit := deadline.UnixNano()
 	n := 0
-	for c.queue.Len() > 0 {
-		next := c.queue[0]
-		if !next.at.Before(deadline) {
-			break
-		}
-		heap.Pop(&c.queue)
-		c.now = next.at
-		next.fn()
+	for len(c.queue) > 0 && c.queue[0].at < limit {
+		e := c.pop()
+		c.now = e.when
+		c.nowNanos = e.at
+		e.fn()
 		n++
 	}
 	if c.now.Before(deadline) {
 		c.now = deadline
+		c.nowNanos = limit
 	}
 	return n
 }
@@ -120,10 +151,11 @@ func (c *Clock) Drain() int {
 	defer func() { c.running = false }()
 
 	n := 0
-	for c.queue.Len() > 0 {
-		next := heap.Pop(&c.queue).(*event)
-		c.now = next.at
-		next.fn()
+	for len(c.queue) > 0 {
+		e := c.pop()
+		c.now = e.when
+		c.nowNanos = e.at
+		e.fn()
 		n++
 	}
 	return n
@@ -135,32 +167,68 @@ func (c *Clock) Advance(d time.Duration) int {
 	return c.RunUntil(c.now.Add(d))
 }
 
-type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+// less orders entries by instant, then by scheduling order (FIFO within
+// the same instant).
+func less(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// The heap is 4-ary: children of i are 4i+1..4i+4. Compared to a binary
+// heap it halves the tree depth, trading slightly more comparisons per
+// level for far fewer cache-missing levels — a win for the deep queues a
+// large world carries.
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+// push appends e and sifts it up.
+func (c *Clock) push(e entry) {
+	q := append(c.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	c.queue = q
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// pop removes and returns the minimum entry.
+func (c *Clock) pop() entry {
+	q := c.queue
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = entry{} // release the handler reference
+	q = q[:last]
+	c.queue = q
+
+	// Sift the relocated root down.
+	i := 0
+	for {
+		child := i*4 + 1
+		if child >= last {
+			break
+		}
+		// Pick the smallest of up to four children.
+		min := child
+		hi := child + 4
+		if hi > last {
+			hi = last
+		}
+		for j := child + 1; j < hi; j++ {
+			if less(&q[j], &q[min]) {
+				min = j
+			}
+		}
+		if !less(&q[min], &q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }

@@ -121,3 +121,141 @@ func TestAdvance(t *testing.T) {
 		t.Fatalf("clock = %s", c.Now())
 	}
 }
+
+// Same-instant FIFO must hold even when handlers re-schedule at the
+// current instant while other same-instant events are still pending: a
+// child scheduled from inside a handler fires after every event that was
+// scheduled before it, because the tie-break is scheduling order, not
+// insertion depth.
+func TestSameInstantFIFOInterleavedRescheduling(t *testing.T) {
+	c := NewClock(Epoch)
+	at := Epoch.Add(time.Minute)
+	var got []string
+	c.Schedule(at, func() {
+		got = append(got, "a")
+		c.Schedule(at, func() { got = append(got, "a-child") })
+	})
+	c.Schedule(at, func() {
+		got = append(got, "b")
+		c.Schedule(at, func() { got = append(got, "b-child") })
+	})
+	c.Schedule(at, func() { got = append(got, "c") })
+	c.Drain()
+	want := []string{"a", "b", "c", "a-child", "b-child"}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// A stress variant: many same-instant events, each rescheduling one child
+// at the same instant. All parents run before any child, both generations
+// in scheduling order.
+func TestSameInstantFIFOStress(t *testing.T) {
+	c := NewClock(Epoch)
+	at := Epoch.Add(time.Minute)
+	const n = 500
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		c.Schedule(at, func() {
+			got = append(got, i)
+			c.Schedule(at, func() { got = append(got, n+i) })
+		})
+	}
+	c.Drain()
+	if len(got) != 2*n {
+		t.Fatalf("ran %d events, want %d", len(got), 2*n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d fired out of order: got %d", i, v)
+		}
+	}
+}
+
+// Every must tick exactly on period multiples even when other events at
+// off-grid instants interleave: each tick books the next from its own
+// instant, so the grid never drifts.
+func TestEveryTicksOnExactMultiples(t *testing.T) {
+	c := NewClock(Epoch)
+	var ticks []time.Time
+	end := Epoch.Add(6*time.Hour + time.Nanosecond)
+	c.Every(time.Hour, end, func() { ticks = append(ticks, c.Now()) })
+	for i := 0; i < 40; i++ {
+		c.Schedule(Epoch.Add(time.Duration(i)*7*time.Minute+13*time.Second), func() {})
+	}
+	c.Drain()
+	if len(ticks) != 6 {
+		t.Fatalf("ticked %d times, want 6", len(ticks))
+	}
+	for i, at := range ticks {
+		want := Epoch.Add(time.Duration(i+1) * time.Hour)
+		if !at.Equal(want) {
+			t.Fatalf("tick %d at %s, want exactly %s", i, at, want)
+		}
+	}
+}
+
+// Scheduling at exactly the current instant is legal (the boundary of the
+// in-the-past panic) and fires within the same drive call.
+func TestScheduleAtNow(t *testing.T) {
+	c := NewClock(Epoch)
+	c.RunUntil(Epoch.Add(time.Hour))
+	ran := false
+	c.Schedule(c.Now(), func() { ran = true })
+	c.Drain()
+	if !ran {
+		t.Fatal("event at the current instant never ran")
+	}
+}
+
+// The in-the-past panic must also fire from handler context, where the
+// clock has advanced past the caller's stale timestamp.
+func TestSchedulePastPanicsFromHandler(t *testing.T) {
+	c := NewClock(Epoch)
+	stale := Epoch.Add(time.Minute)
+	c.Schedule(Epoch.Add(time.Hour), func() {
+		c.Schedule(stale, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past from a handler did not panic")
+		}
+	}()
+	c.Drain()
+}
+
+// The scheduler itself must not allocate per event: pushes into a
+// reserved queue and dispatches are alloc-free, so a world's allocation
+// profile is its handlers' own, not the clock's.
+func TestScheduleZeroAllocs(t *testing.T) {
+	c := NewClock(Epoch)
+	c.Reserve(16)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(2000, func() {
+		c.Schedule(c.Now().Add(time.Second), fn)
+		c.Schedule(c.Now().Add(2*time.Second), fn)
+		c.Advance(3 * time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+RunUntil allocated %.2f times per run, want 0", allocs)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	c := NewClock(Epoch)
+	c.Schedule(Epoch.Add(time.Hour), func() {})
+	c.Reserve(1000)
+	if c.Len() != 1 {
+		t.Fatalf("Reserve dropped pending events: len = %d", c.Len())
+	}
+	c.Reserve(10) // shrinking request is a no-op
+	if got := c.Drain(); got != 1 {
+		t.Fatalf("Drain ran %d events, want 1", got)
+	}
+}

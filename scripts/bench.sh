@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness (ISSUE 4). Runs the simulation-core benchmarks —
+# scheduler (internal/simtime), log store (internal/logstore), end-to-end
+# world and study engine (internal/core, root) — plus the scale-0.1 study
+# wall-clock, and writes:
+#
+#   $TXT   benchstat-compatible text (feed two runs to `benchstat old new`)
+#   $JSON  a machine-readable summary for the BENCH_<n>.json trajectory
+#
+# Usage:
+#   scripts/bench.sh [TXT [JSON]]          # defaults: BENCH_dev.txt BENCH_dev.json
+#
+# Environment knobs (all optional):
+#   BENCHTIME    per-bench duration/iterations for microbenches (default 2s;
+#                CI smoke uses 1x)
+#   COUNT        -count for benchstat variance (default 1)
+#   STUDY_SCALE  hijackstudy -scale for the wall-clock probe (default 0.1)
+#   STUDY_SEED   hijackstudy -seed (default 1)
+#
+# The checked-in BENCH_<n>.json trajectory files additionally carry a
+# hand-recorded "baseline" block with the pre-PR numbers; regenerating one
+# with this script refreshes only the current measurements, so merge the
+# baseline back in when updating a trajectory file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TXT="${1:-BENCH_dev.txt}"
+JSON="${2:-BENCH_dev.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+COUNT="${COUNT:-1}"
+STUDY_SCALE="${STUDY_SCALE:-0.1}"
+STUDY_SEED="${STUDY_SEED:-1}"
+
+: > "$TXT"
+
+echo "== simtime scheduler benches (benchtime=$BENCHTIME)" >&2
+go test -run '^$' -bench 'BenchmarkClock' -benchtime "$BENCHTIME" -count "$COUNT" \
+    ./internal/simtime/ | tee -a "$TXT"
+
+echo "== logstore benches (benchtime=$BENCHTIME)" >&2
+go test -run '^$' -bench 'BenchmarkAppend|BenchmarkSeal$|BenchmarkSelectIndexed|BenchmarkBetweenIndexed|BenchmarkKindCountsIndexed' \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/logstore/ | tee -a "$TXT"
+
+echo "== world + study engine benches" >&2
+go test -run '^$' -bench 'BenchmarkWorldRun' -benchtime 5x -count "$COUNT" \
+    ./internal/core/ | tee -a "$TXT"
+go test -run '^$' -bench 'BenchmarkStudyParallel' -benchtime 1x -count "$COUNT" \
+    . | tee -a "$TXT"
+
+echo "== study wall-clock (scale=$STUDY_SCALE seed=$STUDY_SEED)" >&2
+go build -o /tmp/hijackstudy.bench ./cmd/hijackstudy
+start_ms=$(date +%s%3N)
+/tmp/hijackstudy.bench -seed "$STUDY_SEED" -scale "$STUDY_SCALE" > /dev/null
+end_ms=$(date +%s%3N)
+study_s=$(awk -v a="$start_ms" -v b="$end_ms" 'BEGIN { printf "%.3f", (b - a) / 1000 }')
+echo "study wall-clock: ${study_s}s (scale=$STUDY_SCALE)" >&2
+
+# Summarize the benchstat text as JSON. Multiple -count runs of the same
+# benchmark are averaged.
+awk -v study_s="$study_s" -v scale="$STUDY_SCALE" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    n[name]++
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[name]     += $i
+        if ($(i+1) == "B/op")      bytes[name]  += $i
+        if ($(i+1) == "allocs/op") allocs[name] += $i
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"benchmarks\": {\n"
+    count = 0
+    for (name in n) count++
+    i = 0
+    for (name in n) {
+        i++
+        printf "    \"%s\": {\"ns_op\": %.1f", name, ns[name] / n[name]
+        if (name in bytes)  printf ", \"b_op\": %.0f", bytes[name] / n[name]
+        if (name in allocs) printf ", \"allocs_op\": %.3f", allocs[name] / n[name]
+        printf "}%s\n", (i < count ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"study\": {\"scale\": %s, \"wallclock_s\": %s}\n", scale, study_s
+    printf "}\n"
+}' "$TXT" > "$JSON"
+
+echo "wrote $TXT and $JSON" >&2
