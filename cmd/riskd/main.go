@@ -1,0 +1,102 @@
+// Command riskd serves the login-risk decision pipeline over HTTP — the
+// paper's §8.2 login-time risk analysis run the way an identity provider
+// actually runs it: as a network service under concurrent login traffic.
+//
+// riskd bootstraps the same deterministic world state the simulator
+// assembles for a seed — account population, home geographies, recovery
+// options, the IP plan — primes per-account baselines, and exposes:
+//
+//	POST /v1/score    {account, ip, device_id, at, password_ok[, principal]}
+//	                  → {score, signals, verdict: admit|challenge|block,
+//	                     challenge_method[, challenge_passed]}
+//	POST /v1/outcome  {account, ip, device_id, at, success} → {ok}
+//	GET  /v1/healthz  liveness
+//	GET  /v1/statz    request counts, verdict mix, latency percentiles
+//
+// Because the bootstrap is seed-deterministic, `riskload -replay` can
+// stream a simulator dump through a riskd started with the same seed and
+// population and verify decision-for-decision parity.
+//
+// Usage:
+//
+//	riskd [-addr :8077] [-seed N] [-pop N] [-decoys N] [-shards N]
+//	      [-challenge-threshold F] [-block-threshold F]
+//	      [-max-inflight N] [-queue-wait D] [-timeout D] [-drain D]
+//
+// On SIGTERM/SIGINT the server stops accepting connections, drains
+// in-flight requests for at most -drain, prints a final stats summary, and
+// exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/core"
+	"manualhijack/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	seed := flag.Int64("seed", 1, "world seed (must match the dump for replay parity)")
+	pop := flag.Int("pop", 8000, "population size (must match the dump's -pop)")
+	decoys := flag.Int("decoys", 0, "decoy accounts (must match the dump's -decoys)")
+	shards := flag.Int("shards", 0, "account shards; 0 = GOMAXPROCS")
+	challengeAt := flag.Float64("challenge-threshold", auth.DefaultConfig().ChallengeThreshold, "risk score that triggers a challenge")
+	blockAt := flag.Float64("block-threshold", auth.DefaultConfig().BlockThreshold, "risk score that blocks outright")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "bounded queue: max concurrent score/outcome requests before 429")
+	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit request may wait for a slot before 429")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request timeout")
+	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	cfg := serve.DefaultConfig(*seed)
+	cfg.Shards = *shards
+	cfg.ChallengeThreshold = *challengeAt
+	cfg.BlockThreshold = *blockAt
+
+	worldCfg := core.DefaultConfig(*seed)
+	dir := core.NewStudyDirectory(*seed, worldCfg.Start, *pop+*decoys)
+	engine := serve.New(dir, core.DefaultIPPlan(), cfg)
+	engine.Prime()
+
+	srv := serve.NewServer(engine, serve.ServerConfig{
+		MaxInFlight:    *maxInFlight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riskd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"riskd: listening on %s (seed=%d pop=%d shards=%d gomaxprocs=%d thresholds=%.2f/%.2f max-inflight=%d)\n",
+		ln.Addr(), *seed, *pop+*decoys, engine.Shards(), runtime.GOMAXPROCS(0),
+		*challengeAt, *blockAt, *maxInFlight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	err = srv.Run(ctx, ln, *drain)
+
+	st := srv.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr,
+		"riskd: served %d score / %d outcome requests (%d rejected, %d bad), verdicts admit=%d challenge=%d block=%d, p99=%.0fµs\n",
+		st.Score, st.Outcome, st.Rejected, st.BadRequests,
+		st.Verdicts[serve.VerdictAdmit], st.Verdicts[serve.VerdictChallenge],
+		st.Verdicts[serve.VerdictBlock], st.Latency.P99us)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riskd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "riskd: drained cleanly")
+}

@@ -1,0 +1,326 @@
+// Command riskload drives a riskd server two ways and emits a
+// machine-readable JSON summary either way:
+//
+// Synthetic mode (default) generates open-loop login traffic at a target
+// QPS: a pacer issues request tokens at the configured rate regardless of
+// completions, workers score attempts drawn from the same seed-built
+// population riskd serves (mostly benign home-country logins, a tail of
+// new devices, roaming countries, and wrong passwords), and client-side
+// latency/verdict/429 counts are collected. Because the loop is open, a
+// saturated server shows up as rising latency and 429s, not as a silently
+// slower client.
+//
+// Replay mode (-replay dump.ndjson[.gz]) streams the login attempts out of
+// a simulator dump through the live server in log order and cross-checks
+// every served decision against the simulator's logged decision for the
+// same seed (see internal/serve.Replay). Zero mismatches is the parity
+// contract; the process exits 1 otherwise.
+//
+// Usage:
+//
+//	riskload [-addr http://127.0.0.1:8077] [-seed N] [-pop N] [-decoys N]
+//	         [-qps N] [-duration D] [-workers N] [-principal-rate F]
+//	         [-replay dump.ndjson.gz]
+//	         [-challenge-threshold F] [-block-threshold F]
+//	         [-json out.json]
+//
+// The JSON summary (QPS achieved, p50/p95/p99 latency, verdict mix, replay
+// mismatch count) is written to -json ("-" = stdout) so serving
+// performance can be tracked across PRs alongside the BENCH_*.json
+// trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/core"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/serve"
+	"manualhijack/internal/stats"
+)
+
+type latencySummary struct {
+	N     int     `json:"n"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+type summary struct {
+	Mode         string                  `json:"mode"`
+	Target       string                  `json:"target"`
+	Seed         int64                   `json:"seed"`
+	DurationS    float64                 `json:"duration_s"`
+	QPSTarget    float64                 `json:"qps_target,omitempty"`
+	QPSAchieved  float64                 `json:"qps_achieved"`
+	Requests     int64                   `json:"requests"`
+	Outcomes     int64                   `json:"outcomes"`
+	Errors       int64                   `json:"errors"`
+	Rejected     int64                   `json:"rejected_429"`
+	DroppedTicks int64                   `json:"dropped_ticks"`
+	Latency      latencySummary          `json:"latency_ms"`
+	Verdicts     map[serve.Verdict]int64 `json:"verdicts"`
+	Replay       *serve.ReplayStats      `json:"replay,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "riskd base URL")
+	seed := flag.Int64("seed", 1, "world seed (must match riskd's)")
+	pop := flag.Int("pop", 8000, "population size (must match riskd's)")
+	decoys := flag.Int("decoys", 0, "decoy accounts (must match riskd's)")
+	qps := flag.Float64("qps", 200, "synthetic mode: target open-loop request rate")
+	duration := flag.Duration("duration", 10*time.Second, "synthetic mode: run length")
+	workers := flag.Int("workers", 32, "synthetic mode: concurrent client workers")
+	principalRate := flag.Float64("principal-rate", 0.25, "synthetic mode: fraction of requests carrying the owner's principal (exercises the challenge path)")
+	replayPath := flag.String("replay", "", "replay mode: NDJSON dump to stream through the server")
+	challengeAt := flag.Float64("challenge-threshold", auth.DefaultConfig().ChallengeThreshold, "verdict cutoff (must match riskd's)")
+	blockAt := flag.Float64("block-threshold", auth.DefaultConfig().BlockThreshold, "verdict cutoff (must match riskd's)")
+	jsonOut := flag.String("json", "-", `write the JSON summary here ("-" = stdout)`)
+	flag.Parse()
+
+	client := &serve.Client{Base: *addr}
+	var sum summary
+	sum.Target = *addr
+	sum.Seed = *seed
+
+	var err error
+	if *replayPath != "" {
+		err = runReplay(client, *replayPath, *challengeAt, *blockAt, &sum)
+	} else {
+		err = runSynthetic(client, *seed, *pop+*decoys, *qps, *duration, *workers, *principalRate, &sum)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riskload: %v\n", err)
+		os.Exit(1)
+	}
+
+	if werr := writeSummary(*jsonOut, &sum); werr != nil {
+		fmt.Fprintf(os.Stderr, "riskload: %v\n", werr)
+		os.Exit(1)
+	}
+	if sum.Replay != nil && sum.Replay.Mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "riskload: replay parity FAILED: %d mismatches (first: %s)\n",
+			sum.Replay.Mismatches, sum.Replay.FirstMismatch)
+		os.Exit(1)
+	}
+}
+
+func writeSummary(path string, sum *summary) error {
+	out := os.Stdout
+	if path != "-" && path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}
+
+func runReplay(client *serve.Client, path string, challengeAt, blockAt float64, sum *summary) error {
+	sum.Mode = "replay"
+	st, rstats, err := logstore.ReadNDJSONFile(path, logstore.ReadOptions{})
+	if err != nil {
+		return err
+	}
+	if rstats.Meta.Seed != 0 {
+		sum.Seed = rstats.Meta.Seed
+	}
+	start := time.Now()
+	rs, err := serve.Replay(st, client, serve.ReplayConfig{
+		ChallengeThreshold: challengeAt,
+		BlockThreshold:     blockAt,
+		ProgressEvery:      5000,
+		Progress: func(scored, mismatches int) {
+			fmt.Fprintf(os.Stderr, "riskload: replayed %d logins, %d mismatches\n", scored, mismatches)
+		},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	sum.Replay = &rs
+	sum.DurationS = elapsed.Seconds()
+	// Each scored event is two HTTP round trips (score + outcome).
+	sum.Requests = int64(rs.Scored)
+	sum.Outcomes = int64(rs.Scored)
+	sum.QPSAchieved = float64(2*rs.Scored) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr,
+		"riskload: replay done: %d logins, %d scored, %d skipped, %d mismatches in %s\n",
+		rs.Logins, rs.Scored, rs.Skipped, rs.Mismatches, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// attemptMix shapes synthetic traffic. The shares are arbitrary but fixed:
+// enough anomalous logins that every verdict band and the challenge path
+// see traffic.
+const (
+	shareWrongPassword = 0.05
+	shareRoaming       = 0.07 // foreign-country IP, new device
+	shareNewDevice     = 0.10 // home country, unknown device
+)
+
+func runSynthetic(client *serve.Client, seed int64, pop int, qps float64, duration time.Duration, workers int, principalRate float64, sum *summary) error {
+	sum.Mode = "synthetic"
+	sum.QPSTarget = qps
+	if qps <= 0 || pop <= 0 || workers <= 0 {
+		return fmt.Errorf("qps, pop, and workers must be positive")
+	}
+
+	worldCfg := core.DefaultConfig(seed)
+	dir := core.NewStudyDirectory(seed, worldCfg.Start, pop)
+	plan := core.DefaultIPPlan()
+	countries := geo.AllCountries()
+
+	var (
+		requests, outcomes, errs, rejected, dropped atomic.Int64
+		verdictMu                                   sync.Mutex
+		verdicts                                    = map[serve.Verdict]int64{}
+		latMu                                       sync.Mutex
+		lat                                         stats.Sample
+	)
+
+	// Open-loop pacer: every pulse, top the token queue up to where the
+	// schedule says we should be. Tokens carry their scheduled time so
+	// latency includes client-side queueing. A full queue (one second of
+	// backlog) sheds the token and counts it — the server's slowness is
+	// reported, never absorbed into the offered rate.
+	tokens := make(chan time.Time, int(qps)+1)
+	stop := make(chan struct{})
+	go func() {
+		defer close(tokens)
+		start := time.Now()
+		issued := 0
+		pulse := time.NewTicker(5 * time.Millisecond)
+		defer pulse.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-pulse.C:
+				elapsed := now.Sub(start)
+				if elapsed > duration {
+					return
+				}
+				due := int(elapsed.Seconds() * qps)
+				for ; issued < due; issued++ {
+					select {
+					case tokens <- now:
+					default:
+						dropped.Add(1)
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randx.New(seed).Fork(fmt.Sprintf("riskload/worker/%d", w))
+			for tick := range tokens {
+				id := identity.AccountID(rng.Intn(pop) + 1)
+				acct := dir.Get(id)
+				req := serve.ScoreRequest{
+					Account:    id,
+					DeviceID:   identity.DeviceFingerprint(id),
+					At:         tick,
+					PasswordOK: true,
+				}
+				country := acct.HomeCountry
+				switch r := rng.Float64(); {
+				case r < shareWrongPassword:
+					req.PasswordOK = false
+				case r < shareWrongPassword+shareRoaming:
+					country = randx.Pick(rng, countries)
+					req.DeviceID = fmt.Sprintf("device-load-%d", rng.Intn(1<<20))
+				case r < shareWrongPassword+shareRoaming+shareNewDevice:
+					req.DeviceID = fmt.Sprintf("device-load-%d", rng.Intn(1<<20))
+				}
+				req.IP = plan.Addr(rng, country).String()
+				if rng.Bool(principalRate) {
+					p := serve.PrincipalWire{KnowledgeSkill: 0.85}
+					if acct.Phone != "" {
+						p.Phones = []string{string(acct.Phone)}
+					}
+					req.Principal = &p
+				}
+
+				resp, err := client.Score(req)
+				took := time.Since(tick)
+				if err != nil {
+					if serve.IsRejected(err) {
+						rejected.Add(1)
+					} else {
+						errs.Add(1)
+					}
+					continue
+				}
+				requests.Add(1)
+				latMu.Lock()
+				lat.Add(float64(took.Microseconds()) / 1000)
+				latMu.Unlock()
+				verdictMu.Lock()
+				verdicts[resp.Verdict]++
+				verdictMu.Unlock()
+
+				success := resp.Verdict == serve.VerdictAdmit && req.PasswordOK
+				if err := client.Outcome(serve.OutcomeRequest{
+					Account: id, IP: req.IP, DeviceID: req.DeviceID,
+					At: req.At, Success: success,
+				}); err == nil {
+					outcomes.Add(1)
+				} else if serve.IsRejected(err) {
+					rejected.Add(1)
+				} else {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	wg.Wait()
+	close(stop)
+	elapsed := time.Since(start)
+	if elapsed > duration {
+		elapsed = duration + (elapsed - duration) // drain tail counts toward wall time
+	}
+
+	sum.DurationS = elapsed.Seconds()
+	sum.Requests = requests.Load()
+	sum.Outcomes = outcomes.Load()
+	sum.Errors = errs.Load()
+	sum.Rejected = rejected.Load()
+	sum.DroppedTicks = dropped.Load()
+	sum.QPSAchieved = float64(sum.Requests) / elapsed.Seconds()
+	sum.Verdicts = verdicts
+	sum.Latency = latencySummary{
+		N:     lat.N(),
+		P50ms: lat.Percentile(50),
+		P95ms: lat.Percentile(95),
+		P99ms: lat.Percentile(99),
+		MaxMs: lat.Max(),
+	}
+	fmt.Fprintf(os.Stderr,
+		"riskload: %d scores (%.1f qps of %.1f target), %d outcomes, %d rejected, %d errors, %d dropped ticks, p50=%.2fms p99=%.2fms\n",
+		sum.Requests, sum.QPSAchieved, qps, sum.Outcomes, sum.Rejected, sum.Errors,
+		sum.DroppedTicks, sum.Latency.P50ms, sum.Latency.P99ms)
+	return nil
+}

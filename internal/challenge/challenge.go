@@ -63,6 +63,15 @@ func DefaultConfig() Config {
 }
 
 // Challenger runs login challenges.
+//
+// Concurrency contract: a Challenger is confined to a single goroutine —
+// Run draws from an unsynchronized random stream. Run also reads the
+// account's recovery fields (Phone, SecretQuestion) through the pointer it
+// is handed, so the caller must guarantee no concurrent writer to those
+// fields for the duration of the call. The serving layer satisfies both by
+// giving every account shard its own Challenger (forked rng) and invoking
+// it only inside the shard's critical section, on accounts that are
+// immutable after bootstrap.
 type Challenger struct {
 	cfg Config
 	rng *randx.Rand
@@ -79,19 +88,35 @@ type Result struct {
 	Passed bool
 }
 
-// Run challenges the principal for the account. Preference order: SMS to
-// the enrolled phone, then knowledge questions, then (no options on file)
-// admit — the paper notes the provider cannot challenge what it cannot
-// verify, which is why it pushes users to register a phone.
+// MethodFor returns the challenge method the provider would use for the
+// account. Preference order: SMS to the enrolled phone, then knowledge
+// questions, then (no options on file) none — the paper notes the provider
+// cannot challenge what it cannot verify, which is why it pushes users to
+// register a phone. Method selection is deterministic; only the outcome of
+// running the challenge is stochastic.
+func MethodFor(acct *identity.Account) Method {
+	switch {
+	case acct.Phone != "":
+		return MethodSMS
+	case acct.SecretQuestion:
+		return MethodKnowledge
+	default:
+		return MethodNone
+	}
+}
+
+// Run challenges the principal for the account using the method MethodFor
+// selects; a MethodNone challenge admits.
 func (c *Challenger) Run(acct *identity.Account, p Principal) Result {
-	if acct.Phone != "" {
+	switch MethodFor(acct) {
+	case MethodSMS:
 		passed := p.CanReceive(acct.Phone) &&
 			c.rng.Bool(c.cfg.SMSGatewayReliability) &&
 			c.rng.Bool(c.cfg.OwnerSMSCompletion)
 		return Result{Method: MethodSMS, Passed: passed}
-	}
-	if acct.SecretQuestion {
+	case MethodKnowledge:
 		return Result{Method: MethodKnowledge, Passed: c.rng.Bool(p.KnowledgeSkill)}
+	default:
+		return Result{Method: MethodNone, Passed: true}
 	}
-	return Result{Method: MethodNone, Passed: true}
 }

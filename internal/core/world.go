@@ -178,10 +178,7 @@ func NewWorld(cfg Config) *World {
 	// grow-copies the log.
 	clock.Reserve((cfg.PopulationN + cfg.DecoyN) * 2)
 	rng := randx.New(cfg.Seed)
-
-	idCfg := identity.DefaultConfig(cfg.Start)
-	idCfg.N = cfg.PopulationN + cfg.DecoyN
-	dir := identity.NewDirectory(rng, idCfg)
+	dir := NewStudyDirectory(cfg.Seed, cfg.Start, cfg.PopulationN+cfg.DecoyN)
 
 	log := logstore.New()
 	log.Reserve(cfg.expectedEvents())
@@ -267,6 +264,19 @@ func NewWorld(cfg Config) *World {
 		})
 	}
 	return w
+}
+
+// NewStudyDirectory builds the deterministic account population a world
+// with (seed, start, n) assembles. Directory generation forks its random
+// stream purely from (seed, "identity"), so a standalone process — the
+// riskd serving bootstrap — reconstructs byte-identical accounts, home
+// countries, and recovery options from the seed alone, the property replay
+// parity depends on. n must include any decoy accounts (PopulationN +
+// DecoyN).
+func NewStudyDirectory(seed int64, start time.Time, n int) *identity.Directory {
+	idCfg := identity.DefaultConfig(start)
+	idCfg.N = n
+	return identity.NewDirectory(randx.New(seed), idCfg)
 }
 
 // DefaultIPPlan returns the synthetic IP plan every world is built with.

@@ -138,7 +138,7 @@ func (s *Store) rebuildIndex() {
 	idx := make(map[event.Kind][]event.Event, len(counts))
 	off := 0
 	for k, n := range counts {
-		idx[k] = backing[off:off:off+n]
+		idx[k] = backing[off : off : off+n]
 		off += n
 	}
 	for _, e := range s.events {

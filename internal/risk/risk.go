@@ -70,12 +70,22 @@ func DefaultWeights() Weights {
 // Analyzer scores login attempts. It maintains per-account and per-IP
 // observation history, which it updates only on successful logins (failed
 // attempts update the failure history).
+//
+// Concurrency contract: an Analyzer is confined to a single goroutine.
+// Score, Extract, PrimeAccount, and RecordOutcome all mutate unsynchronized
+// state (account histories are created lazily, so even a "read" allocates),
+// and no method takes a lock. The simulator upholds the contract by running
+// every world on one goroutine; the serving layer (internal/serve) upholds
+// it by confining each Analyzer to one account shard and serializing access
+// behind the shard's mutex, with the cross-account IP-fanout state factored
+// out into a FanoutSource the shards share. The -race tests in
+// internal/serve prove that wrapper makes concurrent use safe.
 type Analyzer struct {
 	Plan    *geo.IPPlan
 	Weights Weights
 
 	accounts map[identity.AccountID]*accountHistory
-	ips      map[netip.Addr]*ipHistory
+	fanout   FanoutSource
 }
 
 type accountHistory struct {
@@ -99,13 +109,73 @@ const (
 	failureCap     = 3
 )
 
-// NewAnalyzer returns an analyzer using plan for geolocation.
+// FanoutSource supplies the IP-fanout signal: how many distinct accounts an
+// address logged into today. It is the one piece of analyzer state that
+// couples accounts, so it is factored out of the per-account history: the
+// single-goroutine simulator uses the built-in IPFanoutTracker, while the
+// serving layer substitutes a locked, IP-sharded source that account shards
+// share. Implementations define their own synchronization; the Analyzer
+// calls them without taking locks.
+type FanoutSource interface {
+	// Fanout returns the signal in [0,1] for an attempt by acct from ip at
+	// time at, counting acct as if it were about to log in.
+	Fanout(ip netip.Addr, acct identity.AccountID, at time.Time) float64
+	// RecordSuccess absorbs a successful login into the per-IP history.
+	RecordSuccess(ip netip.Addr, acct identity.AccountID, at time.Time)
+}
+
+// IPFanoutTracker is the built-in FanoutSource: a plain per-day counter of
+// distinct accounts per address. Like the Analyzer it is confined to a
+// single goroutine; callers that share one across goroutines must wrap it
+// in their own lock.
+type IPFanoutTracker struct {
+	ips map[netip.Addr]*ipHistory
+}
+
+// NewIPFanoutTracker returns an empty tracker.
+func NewIPFanoutTracker() *IPFanoutTracker {
+	return &IPFanoutTracker{ips: make(map[netip.Addr]*ipHistory)}
+}
+
+// Fanout implements FanoutSource.
+func (t *IPFanoutTracker) Fanout(ip netip.Addr, acct identity.AccountID, at time.Time) float64 {
+	ih := t.ips[ip]
+	if ih == nil || !ih.day.Equal(dayOf(at)) {
+		return 0
+	}
+	n := len(ih.accounts)
+	if !ih.accounts[acct] {
+		n++
+	}
+	return min(1, float64(n)/fanoutCap)
+}
+
+// RecordSuccess implements FanoutSource.
+func (t *IPFanoutTracker) RecordSuccess(ip netip.Addr, acct identity.AccountID, at time.Time) {
+	day := dayOf(at)
+	ih := t.ips[ip]
+	if ih == nil || !ih.day.Equal(day) {
+		ih = &ipHistory{day: day, accounts: make(map[identity.AccountID]bool)}
+		t.ips[ip] = ih
+	}
+	ih.accounts[acct] = true
+}
+
+// NewAnalyzer returns an analyzer using plan for geolocation, with its own
+// private IP-fanout tracker.
 func NewAnalyzer(plan *geo.IPPlan, w Weights) *Analyzer {
+	return NewAnalyzerWithFanout(plan, w, NewIPFanoutTracker())
+}
+
+// NewAnalyzerWithFanout returns an analyzer that reads and feeds the given
+// fanout source instead of a private tracker — the hook the sharded serving
+// layer uses to share cross-account IP state between per-account shards.
+func NewAnalyzerWithFanout(plan *geo.IPPlan, w Weights, src FanoutSource) *Analyzer {
 	return &Analyzer{
 		Plan:     plan,
 		Weights:  w,
 		accounts: make(map[identity.AccountID]*accountHistory),
-		ips:      make(map[netip.Addr]*ipHistory),
+		fanout:   src,
 	}
 }
 
@@ -146,14 +216,7 @@ func (a *Analyzer) Extract(att Attempt) Signals {
 		s.ImpossibleHop = true
 	}
 	s.NewDevice = att.DeviceID != "" && !h.devices[att.DeviceID]
-
-	if ih := a.ips[att.IP]; ih != nil && ih.day.Equal(dayOf(att.At)) {
-		n := len(ih.accounts)
-		if !ih.accounts[att.Account] {
-			n++
-		}
-		s.IPFanout = min(1, float64(n)/fanoutCap)
-	}
+	s.IPFanout = a.fanout.Fanout(att.IP, att.Account, att.At)
 
 	recent := 0
 	for _, ft := range h.failures {
@@ -211,23 +274,9 @@ func (a *Analyzer) RecordOutcome(att Attempt, success bool) {
 	}
 	h.lastLogin = att.At
 	h.lastCountry = country
-
-	day := dayOf(att.At)
-	ih := a.ips[att.IP]
-	if ih == nil || !ih.day.Equal(day) {
-		ih = &ipHistory{day: day, accounts: make(map[identity.AccountID]bool)}
-		a.ips[att.IP] = ih
-	}
-	ih.accounts[att.Account] = true
+	a.fanout.RecordSuccess(att.IP, att.Account, att.At)
 }
 
 func dayOf(t time.Time) time.Time {
 	return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for a riskd server. It is safe for
+// concurrent use (http.Client is).
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8077".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.http().Post(c.url(path), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return &StatusError{Code: r.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// StatusError is a non-200 reply.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: http %d: %s", e.Code, e.Msg)
+}
+
+// IsRejected reports whether err is a 429 backpressure shed.
+func IsRejected(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// Score submits one attempt for scoring.
+func (c *Client) Score(req ScoreRequest) (*ScoreResponse, error) {
+	var resp ScoreResponse
+	if err := c.post("/v1/score", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Outcome feeds back a final decision.
+func (c *Client) Outcome(req OutcomeRequest) error {
+	return c.post("/v1/outcome", req, nil)
+}
+
+// Statz fetches the serving counters.
+func (c *Client) Statz() (*StatzResponse, error) {
+	r, err := c.http().Get(c.url("/v1/statz"))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	var resp StatzResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitHealthy polls /v1/healthz until the server answers or ctx expires.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	for {
+		r, err := c.http().Get(c.url("/v1/healthz"))
+		if err == nil {
+			r.Body.Close()
+			if r.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: server not healthy: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"hash/maphash"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/risk"
+)
+
+// Config tunes the sharded decision pipeline.
+type Config struct {
+	// Shards is the number of account shards; 0 means GOMAXPROCS. Each
+	// shard owns one risk.Analyzer and one challenge.Challenger behind a
+	// mutex, so concurrency scales with the shard count while any single
+	// account's history stays sequentially consistent.
+	Shards int
+	// IPShards is the number of shards for the cross-account IP-fanout
+	// state; 0 means Shards.
+	IPShards int
+	// Weights are the risk signal weights.
+	Weights risk.Weights
+	// Challenge tunes the challenge flows.
+	Challenge challenge.Config
+	// ChallengeThreshold and BlockThreshold are the verdict cutoffs,
+	// matching auth.Config semantics.
+	ChallengeThreshold float64
+	BlockThreshold     float64
+	// Seed seeds the shard-local challenge random streams.
+	Seed int64
+}
+
+// DefaultConfig mirrors the simulator's defense configuration
+// (auth.DefaultConfig thresholds, risk.DefaultWeights) so a default riskd
+// reproduces the study's operating point.
+func DefaultConfig(seed int64) Config {
+	a := auth.DefaultConfig()
+	return Config{
+		Weights:            risk.DefaultWeights(),
+		Challenge:          challenge.DefaultConfig(),
+		ChallengeThreshold: a.ChallengeThreshold,
+		BlockThreshold:     a.BlockThreshold,
+		Seed:               seed,
+	}
+}
+
+// Decision is the pipeline's full answer for one attempt.
+type Decision struct {
+	Score           float64
+	Signals         risk.Signals
+	Verdict         Verdict
+	ChallengeMethod challenge.Method
+	// Challenge is set when a principal was supplied and the verdict
+	// required a challenge: the actual (stochastic) challenge outcome.
+	Challenge *challenge.Result
+}
+
+// Engine is the sharded decision pipeline.
+//
+// Concurrency model — the contract the -race tests in this package prove:
+//
+//   - Account state: every account maps to exactly one shard
+//     (hash(AccountID) mod Shards). A shard's risk.Analyzer and
+//     challenge.Challenger are touched only inside the shard mutex, which
+//     upholds their single-goroutine contracts while letting distinct
+//     shards run in parallel. Per-account operations are linearized by the
+//     shard lock, so one account's history evolves in a single total order.
+//   - IP state: the one signal that couples accounts (how many distinct
+//     accounts an IP logged into today) lives in an IP-sharded
+//     risk.IPFanoutTracker behind per-IP-shard mutexes. Those are leaf
+//     locks: they are only ever acquired while an account-shard lock is
+//     held, and no code path acquires an account lock while holding an IP
+//     lock, so the lock order (account shard → IP shard) is acyclic and
+//     deadlock-free.
+//   - Directory: accounts are immutable after bootstrap. The engine never
+//     writes identity.Account fields, so reading them (challenge-method
+//     selection, Challenger.Run) needs no lock beyond the shard mutex that
+//     already serializes the challenger. The serve layer therefore passes
+//     shard-owned *identity.Account pointers to Challenger.Run rather than
+//     copies — safe because nothing mutates them and the stochastic state
+//     (the challenger's rng) is shard-confined.
+type Engine struct {
+	cfg    Config
+	plan   *geo.IPPlan
+	dir    *identity.Directory
+	shards []*shard
+	fanout *shardedFanout
+}
+
+type shard struct {
+	mu sync.Mutex
+	an *risk.Analyzer
+	ch *challenge.Challenger
+}
+
+// shardedFanout is the shared FanoutSource: IP-sharded trackers behind leaf
+// mutexes.
+type shardedFanout struct {
+	seed   maphash.Seed
+	shards []*fanoutShard
+}
+
+type fanoutShard struct {
+	mu sync.Mutex
+	t  *risk.IPFanoutTracker
+}
+
+// Fanout implements risk.FanoutSource.
+func (f *shardedFanout) Fanout(ip netip.Addr, acct identity.AccountID, at time.Time) float64 {
+	s := f.shardFor(ip)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Fanout(ip, acct, at)
+}
+
+// RecordSuccess implements risk.FanoutSource.
+func (f *shardedFanout) RecordSuccess(ip netip.Addr, acct identity.AccountID, at time.Time) {
+	s := f.shardFor(ip)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.RecordSuccess(ip, acct, at)
+}
+
+func (f *shardedFanout) shardFor(ip netip.Addr) *fanoutShard {
+	if len(f.shards) == 1 {
+		return f.shards[0]
+	}
+	b := ip.As16()
+	h := maphash.Bytes(f.seed, b[:])
+	return f.shards[h%uint64(len(f.shards))]
+}
+
+// New assembles an engine over the given (immutable) directory and IP
+// plan. Call Prime before serving to warm per-account baselines.
+func New(dir *identity.Directory, plan *geo.IPPlan, cfg Config) *Engine {
+	nsh := cfg.Shards
+	if nsh <= 0 {
+		nsh = runtime.GOMAXPROCS(0)
+	}
+	nip := cfg.IPShards
+	if nip <= 0 {
+		nip = nsh
+	}
+	e := &Engine{
+		cfg:  cfg,
+		plan: plan,
+		dir:  dir,
+		fanout: &shardedFanout{
+			seed:   maphash.MakeSeed(),
+			shards: make([]*fanoutShard, nip),
+		},
+	}
+	for i := range e.fanout.shards {
+		e.fanout.shards[i] = &fanoutShard{t: risk.NewIPFanoutTracker()}
+	}
+	root := randx.New(cfg.Seed)
+	e.shards = make([]*shard, nsh)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			an: risk.NewAnalyzerWithFanout(plan, cfg.Weights, e.fanout),
+			ch: challenge.New(cfg.Challenge, root.Fork(fmt.Sprintf("serve/shard/%d", i))),
+		}
+	}
+	return e
+}
+
+// Shards returns the account-shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Directory exposes the account population the engine serves.
+func (e *Engine) Directory() *identity.Directory { return e.dir }
+
+func (e *Engine) shardFor(id identity.AccountID) *shard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	// Fibonacci hashing spreads the dense sequential AccountIDs; plain
+	// modulo would stripe contiguous IDs across shards too predictably for
+	// adversarial load.
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Prime seeds every account's history with its home country and usual
+// device fingerprint on its owning shard — the same warm-baseline start
+// victim.Manager.PrimeRisk gives the simulator, and the state replay
+// parity starts from.
+func (e *Engine) Prime() {
+	e.dir.All(func(a *identity.Account) {
+		sh := e.shardFor(a.ID)
+		sh.mu.Lock()
+		sh.an.PrimeAccount(a.ID, a.HomeCountry, identity.DeviceFingerprint(a.ID))
+		sh.mu.Unlock()
+	})
+}
+
+// Score runs the decision pipeline for one attempt: signal extraction,
+// scoring, verdict mapping, and — when a principal is supplied and the
+// verdict is "challenge" — the challenge itself.
+func (e *Engine) Score(att risk.Attempt, p *challenge.Principal) Decision {
+	sh := e.shardFor(att.Account)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sig := sh.an.Extract(att)
+	d := Decision{
+		Signals: sig,
+		Score:   sh.an.Weights.Combine(sig),
+	}
+	d.Verdict = VerdictFor(d.Score, e.cfg.ChallengeThreshold, e.cfg.BlockThreshold)
+	if d.Verdict == VerdictChallenge {
+		if acct := e.dir.Get(att.Account); acct != nil {
+			d.ChallengeMethod = challenge.MethodFor(acct)
+			if p != nil {
+				res := sh.ch.Run(acct, *p)
+				d.Challenge = &res
+			}
+		} else {
+			d.ChallengeMethod = challenge.MethodNone
+		}
+	}
+	return d
+}
+
+// RecordOutcome feeds back the service's final decision for an attempt so
+// the account's history evolves exactly as the simulator's analyzer does:
+// successes absorb country/device/IP observations, failures grow the
+// failure window.
+func (e *Engine) RecordOutcome(att risk.Attempt, success bool) {
+	sh := e.shardFor(att.Account)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.an.RecordOutcome(att, success)
+}

@@ -1,0 +1,284 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/core"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/risk"
+	"manualhijack/internal/serve"
+)
+
+func TestVerdictFor(t *testing.T) {
+	a := auth.DefaultConfig()
+	cases := []struct {
+		score float64
+		want  serve.Verdict
+	}{
+		{0, serve.VerdictAdmit},
+		{a.ChallengeThreshold - 1e-9, serve.VerdictAdmit},
+		{a.ChallengeThreshold, serve.VerdictChallenge},
+		{a.BlockThreshold - 1e-9, serve.VerdictChallenge},
+		{a.BlockThreshold, serve.VerdictBlock},
+		{1, serve.VerdictBlock},
+	}
+	for _, c := range cases {
+		if got := serve.VerdictFor(c.score, a.ChallengeThreshold, a.BlockThreshold); got != c.want {
+			t.Errorf("VerdictFor(%v) = %s, want %s", c.score, got, c.want)
+		}
+	}
+}
+
+// testWorld builds a small deterministic population plus a mixed attempt
+// stream over it: mostly home-country logins on the usual device, with new
+// devices, foreign countries, shared attacker IPs (exercising the
+// cross-account fanout signal), and some wrong passwords.
+func testWorld(seed int64, pop, n int) (*identity.Directory, *geo.IPPlan, []risk.Attempt) {
+	start := time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC)
+	dir := core.NewStudyDirectory(seed, start, pop)
+	plan := core.DefaultIPPlan()
+	countries := geo.AllCountries()
+	rng := randx.New(seed).Fork("serve/test/attempts")
+
+	// A handful of fixed "attacker" IPs reused across many accounts, so the
+	// IP-fanout signal actually fires and couples accounts across shards.
+	hotRng := randx.New(seed).Fork("serve/test/hotips")
+	hotIPs := make([]netip.Addr, 4)
+	for i := range hotIPs {
+		hotIPs[i] = plan.Addr(hotRng, randx.Pick(hotRng, countries))
+	}
+
+	atts := make([]risk.Attempt, n)
+	for i := range atts {
+		id := identity.AccountID(rng.Intn(pop) + 1)
+		acct := dir.Get(id)
+		att := risk.Attempt{
+			Account:    id,
+			DeviceID:   identity.DeviceFingerprint(id),
+			At:         start.Add(time.Duration(i) * 41 * time.Second),
+			PasswordOK: rng.Bool(0.92),
+		}
+		country := acct.HomeCountry
+		switch r := rng.Float64(); {
+		case r < 0.10: // roaming from abroad on an unknown device
+			country = randx.Pick(rng, countries)
+			att.DeviceID = fmt.Sprintf("dev-%d", rng.Intn(1024))
+		case r < 0.22: // new device at home
+			att.DeviceID = fmt.Sprintf("dev-%d", rng.Intn(1024))
+		}
+		att.IP = plan.Addr(rng, country)
+		if rng.Bool(0.15) {
+			// Reuse one of a few hot IPs to drive per-IP fanout up.
+			att.IP = randx.Pick(rng, hotIPs)
+		}
+		atts[i] = att
+	}
+	return dir, plan, atts
+}
+
+// TestShardedMatchesMonolithic is the core sharding-correctness check: the
+// sharded engine must produce bit-identical scores to a single monolithic
+// risk.Analyzer fed the same totally ordered attempt stream, for any shard
+// count. This only holds because the IP-fanout state is shared across
+// account shards — a regression that gives each shard its own fanout view
+// breaks this test on the hot-IP attempts.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	const seed, pop, n = 5, 400, 4000
+	a := auth.DefaultConfig()
+	dir, plan, atts := testWorld(seed, pop, n)
+
+	// Reference: one analyzer, one goroutine — the simulator's shape.
+	ref := risk.NewAnalyzer(plan, risk.DefaultWeights())
+	dir.All(func(ac *identity.Account) {
+		ref.PrimeAccount(ac.ID, ac.HomeCountry, identity.DeviceFingerprint(ac.ID))
+	})
+	want := make([]float64, n)
+	for i, att := range atts {
+		sig := ref.Extract(att)
+		want[i] = ref.Weights.Combine(sig)
+		success := att.PasswordOK && want[i] < a.ChallengeThreshold
+		ref.RecordOutcome(att, success)
+	}
+
+	for _, shards := range []int{1, 3, 8} {
+		cfg := serve.DefaultConfig(seed)
+		cfg.Shards = shards
+		e := serve.New(dir, plan, cfg)
+		e.Prime()
+		for i, att := range atts {
+			d := e.Score(att, nil)
+			if d.Score != want[i] {
+				t.Fatalf("shards=%d attempt %d (account %d): score %v, monolithic %v",
+					shards, i, att.Account, d.Score, want[i])
+			}
+			success := att.PasswordOK && want[i] < a.ChallengeThreshold
+			e.RecordOutcome(att, success)
+		}
+	}
+}
+
+// TestShardedConcurrencySafety hammers one engine from many goroutines with
+// overlapping accounts — Score (with and without principals) interleaved
+// with RecordOutcome. Run under -race this proves the shard mutexes uphold
+// the analyzer's and challenger's single-goroutine contracts.
+func TestShardedConcurrencySafety(t *testing.T) {
+	const seed, pop = 9, 64
+	dir, plan, _ := testWorld(seed, pop, 0)
+	cfg := serve.DefaultConfig(seed)
+	cfg.Shards = 4
+	e := serve.New(dir, plan, cfg)
+	e.Prime()
+
+	countries := geo.AllCountries()
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	start := time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randx.New(seed).Fork(fmt.Sprintf("serve/test/worker/%d", w))
+			for i := 0; i < 400; i++ {
+				// Deliberately overlapping: all workers cycle the same IDs.
+				id := identity.AccountID((w+i)%pop + 1)
+				acct := dir.Get(id)
+				country := acct.HomeCountry
+				if i%5 == 0 {
+					country = randx.Pick(rng, countries)
+				}
+				att := risk.Attempt{
+					Account:    id,
+					IP:         plan.Addr(rng, country),
+					DeviceID:   identity.DeviceFingerprint(id),
+					At:         start.Add(time.Duration(i) * time.Minute),
+					PasswordOK: true,
+				}
+				var p *challenge.Principal
+				if i%3 == 0 {
+					pr := challenge.Principal{KnowledgeSkill: 0.8}
+					if acct.Phone != "" {
+						pr.Phones = []geo.Phone{acct.Phone}
+					}
+					p = &pr
+				}
+				d := e.Score(att, p)
+				switch d.Verdict {
+				case serve.VerdictAdmit, serve.VerdictChallenge, serve.VerdictBlock:
+				default:
+					t.Errorf("invalid verdict %q", d.Verdict)
+					return
+				}
+				e.RecordOutcome(att, d.Verdict == serve.VerdictAdmit)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestChallengerConcurrentUse forces the challenge path — a weight
+// configuration where every foreign-country login lands between the
+// thresholds — and runs it from many goroutines with principals, proving
+// Challenger.Run on shard-owned accounts is safe under concurrent serving.
+func TestChallengerConcurrentUse(t *testing.T) {
+	const seed, pop = 13, 48
+	dir, plan, _ := testWorld(seed, pop, 0)
+	cfg := serve.DefaultConfig(seed)
+	cfg.Shards = 4
+	cfg.Weights = risk.Weights{NewCountry: 0.80} // foreign login → 0.80 → challenge band
+	e := serve.New(dir, plan, cfg)
+	e.Prime()
+
+	countries := geo.AllCountries()
+	start := time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randx.New(seed).Fork(fmt.Sprintf("serve/test/chal/%d", w))
+			for i := 0; i < 200; i++ {
+				id := identity.AccountID((w*17+i)%pop + 1)
+				acct := dir.Get(id)
+				var country geo.Country
+				for {
+					country = randx.Pick(rng, countries)
+					if country != acct.HomeCountry {
+						break
+					}
+				}
+				att := risk.Attempt{
+					Account:    id,
+					IP:         plan.Addr(rng, country),
+					DeviceID:   fmt.Sprintf("dev-%d-%d", w, i),
+					At:         start.Add(time.Duration(i) * time.Minute),
+					PasswordOK: true,
+				}
+				pr := challenge.Principal{KnowledgeSkill: 0.9}
+				if acct.Phone != "" {
+					pr.Phones = []geo.Phone{acct.Phone}
+				}
+				d := e.Score(att, &pr)
+				if d.Verdict == serve.VerdictChallenge {
+					if d.Challenge == nil {
+						t.Errorf("challenge verdict with principal but no challenge result")
+						return
+					}
+					ran.Add(1)
+				}
+				// Never record success: keeps every login "first from this
+				// country", so the challenge band stays populated.
+				e.RecordOutcome(att, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ran.Load() == 0 {
+		t.Fatal("no challenges ran — the test exercised nothing")
+	}
+}
+
+// BenchmarkServeScore measures the sharded decision pipeline under parallel
+// load: shards=1 is the serialized baseline, shards=GOMAXPROCS the scaled
+// configuration. (On a single-core host the two are expected to be flat —
+// the shard win needs real parallelism.)
+func BenchmarkServeScore(b *testing.B) {
+	const seed, pop, n = 3, 2000, 8192
+	dir, plan, atts := testWorld(seed, pop, n)
+	shardCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// Single-core host: GOMAXPROCS duplicates shards=1, so measure the
+		// sharding overhead (hashing + extra mutexes) at shards=4 instead.
+		shardCounts[1] = 4
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := serve.DefaultConfig(seed)
+			cfg.Shards = shards
+			e := serve.New(dir, plan, cfg)
+			e.Prime()
+			var idx atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					att := atts[int(idx.Add(1))%n]
+					d := e.Score(att, nil)
+					e.RecordOutcome(att, d.Verdict == serve.VerdictAdmit)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+
+	"manualhijack/internal/event"
+	"manualhijack/internal/logstore"
+)
+
+// Replay streams the login attempts out of an NDJSON dump through a live
+// riskd and cross-checks every served decision against what the simulator
+// decided for the same seed. It is the bridge between the serving
+// subsystem and the measurement pipeline: if riskd is bootstrapped from
+// the dump's seed and population, parity must be exact — the served score
+// equals the logged RiskScore bit-for-bit and the served verdict equals
+// the verdict that score implies.
+//
+// The state contract that makes this work: for every login attempt the
+// simulator scored, auth.Service evolves analyzer state as exactly
+// Score(att) followed by RecordOutcome(att, outcome == success) — every
+// admission path (plain success, app-password bypass, challenge pass) ends
+// in a success record, and every refusal (wrong password, challenge fail,
+// risk block) ends in a failure record. Replay therefore posts /v1/score
+// and then /v1/outcome with success := (Outcome == LoginSuccess) for each
+// event, in log order, and the server's sharded analyzers march in
+// lockstep with the simulator's.
+//
+// The one excluded case: attempts against anti-abuse-disabled accounts are
+// refused before risk analysis runs, so the simulator logs them with a
+// zero score and no history update. They are identifiable — a blocked
+// outcome whose logged score is below the block threshold could not have
+// come from the risk gate — and are skipped (counted in Skipped).
+//
+// Replay is deliberately sequential: the fanout signal couples accounts
+// through shared IPs, so only a totally ordered feed reproduces the
+// simulator's single-goroutine history. Concurrency is the load
+// generator's job, parity is replay's.
+
+// ReplayConfig parameterizes the cross-check.
+type ReplayConfig struct {
+	// ChallengeThreshold and BlockThreshold must match the dump's world
+	// (auth.DefaultConfig values for study dumps).
+	ChallengeThreshold float64
+	BlockThreshold     float64
+	// Progress, when non-nil, is called every ProgressEvery scored events.
+	Progress      func(scored, mismatches int)
+	ProgressEvery int
+}
+
+// ReplayStats is the machine-readable outcome of a replay run.
+type ReplayStats struct {
+	// Logins is the number of login records in the dump.
+	Logins int `json:"logins"`
+	// Scored is how many were streamed through /v1/score + /v1/outcome.
+	Scored int `json:"scored"`
+	// Skipped counts attempts the simulator never scored (anti-abuse
+	// refusals) — excluded from parity by construction.
+	Skipped int `json:"skipped"`
+	// Mismatches counts events where the served score or verdict diverged
+	// from the simulator's logged decision. Zero is the acceptance bar.
+	Mismatches int `json:"mismatches"`
+	// FirstMismatch describes the earliest divergence, for debugging.
+	FirstMismatch string `json:"first_mismatch,omitempty"`
+}
+
+// Replay runs the cross-check against the server behind c. The returned
+// error covers transport failures; verdict divergence is reported in
+// ReplayStats.Mismatches, not as an error.
+func Replay(st *logstore.Store, c *Client, cfg ReplayConfig) (ReplayStats, error) {
+	var rs ReplayStats
+	logins := logstore.Select[event.Login](st)
+	rs.Logins = len(logins)
+	for _, ev := range logins {
+		// Anti-abuse refusals never reached the risk gate: a genuine risk
+		// block carries its gating score (>= BlockThreshold) in the log.
+		if ev.Outcome == event.LoginBlocked && ev.RiskScore < cfg.BlockThreshold {
+			rs.Skipped++
+			continue
+		}
+		resp, err := c.Score(ScoreRequest{
+			Account:    ev.Account,
+			IP:         ev.IP.String(),
+			DeviceID:   ev.DeviceID,
+			At:         ev.Time,
+			PasswordOK: ev.PasswordOK,
+		})
+		if err != nil {
+			return rs, fmt.Errorf("serve: replay score (account %d at %s): %w", ev.Account, ev.Time, err)
+		}
+		expect := VerdictFor(ev.RiskScore, cfg.ChallengeThreshold, cfg.BlockThreshold)
+		if resp.Score != ev.RiskScore || resp.Verdict != expect {
+			rs.Mismatches++
+			if rs.FirstMismatch == "" {
+				rs.FirstMismatch = fmt.Sprintf(
+					"account %d at %s: served score=%v verdict=%s, simulator logged score=%v (verdict %s)",
+					ev.Account, ev.Time, resp.Score, resp.Verdict, ev.RiskScore, expect)
+			}
+		}
+		err = c.Outcome(OutcomeRequest{
+			Account:  ev.Account,
+			IP:       ev.IP.String(),
+			DeviceID: ev.DeviceID,
+			At:       ev.Time,
+			Success:  ev.Outcome == event.LoginSuccess,
+		})
+		if err != nil {
+			return rs, fmt.Errorf("serve: replay outcome (account %d at %s): %w", ev.Account, ev.Time, err)
+		}
+		rs.Scored++
+		if cfg.Progress != nil && cfg.ProgressEvery > 0 && rs.Scored%cfg.ProgressEvery == 0 {
+			cfg.Progress(rs.Scored, rs.Mismatches)
+		}
+	}
+	return rs, nil
+}

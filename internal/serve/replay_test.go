@@ -1,0 +1,82 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"manualhijack/internal/core"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/serve"
+)
+
+// TestReplayParity is the end-to-end acceptance check for the serving
+// subsystem: run a full simulated world (hijacking crews included), dump
+// its event log, bootstrap a sharded riskd engine from nothing but the
+// seed and population size, and stream the dump through the HTTP stack.
+// Every served score and verdict must equal what the simulator decided —
+// zero mismatches.
+func TestReplayParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity test runs a world")
+	}
+	cfg := core.DefaultConfig(11)
+	cfg.Days = 8
+	cfg.PopulationN = 800
+	cfg.DecoyN = 30
+	w := core.NewWorld(cfg)
+	w.Run()
+
+	var buf bytes.Buffer
+	meta := logstore.Meta{Start: cfg.Start, End: w.End(), Seed: cfg.Seed}
+	if err := logstore.WriteNDJSONMeta(&buf, w.Log, meta); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := logstore.ReadNDJSONWith(bytes.NewReader(buf.Bytes()), logstore.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newEngine := func(prime bool) *serve.Client {
+		ecfg := serve.DefaultConfig(cfg.Seed)
+		ecfg.Shards = 4
+		dir := core.NewStudyDirectory(cfg.Seed, cfg.Start, cfg.PopulationN+cfg.DecoyN)
+		e := serve.New(dir, core.DefaultIPPlan(), ecfg)
+		if prime {
+			e.Prime()
+		}
+		ts := httptest.NewServer(serve.NewServer(e, serve.ServerConfig{}).Handler())
+		t.Cleanup(ts.Close)
+		return &serve.Client{Base: ts.URL}
+	}
+
+	rcfg := serve.ReplayConfig{
+		ChallengeThreshold: cfg.Auth.ChallengeThreshold,
+		BlockThreshold:     cfg.Auth.BlockThreshold,
+	}
+	rs, err := serve.Replay(st, newEngine(true), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Mismatches != 0 {
+		t.Fatalf("replay parity: %d mismatches of %d scored; first: %s",
+			rs.Mismatches, rs.Scored, rs.FirstMismatch)
+	}
+	if rs.Scored < 1000 {
+		t.Fatalf("replay scored only %d logins — world too quiet to prove anything", rs.Scored)
+	}
+	if rs.Scored+rs.Skipped != rs.Logins {
+		t.Fatalf("accounting: scored %d + skipped %d != logins %d", rs.Scored, rs.Skipped, rs.Logins)
+	}
+
+	// Negative control: an unprimed engine sees every first login as a new
+	// country + new device and must diverge. If this passes with zero
+	// mismatches, the parity check itself is broken.
+	rs2, err := serve.Replay(st, newEngine(false), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Mismatches == 0 {
+		t.Fatal("unprimed engine replayed with zero mismatches — the parity check has no teeth")
+	}
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/risk"
+)
+
+// Pipeline is the decision interface the HTTP layer serves. Engine is the
+// production implementation; tests substitute gated pipelines to exercise
+// backpressure and drain deterministically.
+type Pipeline interface {
+	Score(att risk.Attempt, p *challenge.Principal) Decision
+	RecordOutcome(att risk.Attempt, success bool)
+}
+
+// ServerConfig tunes the HTTP front-end.
+type ServerConfig struct {
+	// MaxInFlight bounds concurrently served score/outcome requests — the
+	// backpressure queue. Arrivals beyond the bound wait up to QueueWait
+	// for a slot, then get 429. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// QueueWait is how long an over-limit request may wait for a slot
+	// before 429. 0 rejects immediately — strict open-loop shedding.
+	QueueWait time.Duration
+	// RequestTimeout aborts a score/outcome request that exceeds it with
+	// 503. 0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+}
+
+// Defaults for ServerConfig zero values.
+const (
+	DefaultMaxInFlight    = 1024
+	DefaultRequestTimeout = 2 * time.Second
+)
+
+// Server is the riskd HTTP front-end: /v1/score, /v1/outcome, /v1/healthz,
+// /v1/statz.
+type Server struct {
+	pipe    Pipeline
+	cfg     ServerConfig
+	metrics *Metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+}
+
+// NewServer wires the HTTP layer around a pipeline.
+func NewServer(pipe Pipeline, cfg ServerConfig) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		pipe:    pipe,
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+	}
+	// Backpressure sits outside the timeout handler so shed requests cost
+	// one channel operation, not a goroutine.
+	s.mux.Handle("POST /v1/score",
+		s.withBackpressure(http.TimeoutHandler(http.HandlerFunc(s.handleScore), cfg.RequestTimeout, "request timed out\n")))
+	s.mux.Handle("POST /v1/outcome",
+		s.withBackpressure(http.TimeoutHandler(http.HandlerFunc(s.handleOutcome), cfg.RequestTimeout, "request timed out\n")))
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	return s
+}
+
+// Metrics exposes the serving counters (read-only snapshots via Snapshot).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// withBackpressure bounds in-flight requests: the semaphore's buffer is the
+// whole queue, so memory is capped at MaxInFlight goroutines regardless of
+// arrival rate; everything beyond waits at most QueueWait and then sheds
+// with 429.
+func (s *Server) withBackpressure(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			if s.cfg.QueueWait > 0 {
+				t := time.NewTimer(s.cfg.QueueWait)
+				select {
+				case s.sem <- struct{}{}:
+					t.Stop()
+				case <-t.C:
+					s.reject(w)
+					return
+				case <-r.Context().Done():
+					t.Stop()
+					s.reject(w)
+					return
+				}
+			} else {
+				s.reject(w)
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) reject(w http.ResponseWriter) {
+	s.metrics.rejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "overloaded: bounded queue full", http.StatusTooManyRequests)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, "bad json: "+err.Error())
+		return
+	}
+	att, err := req.Attempt()
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	var p *challenge.Principal
+	if req.Principal != nil {
+		pr := req.Principal.Principal()
+		p = &pr
+	}
+	d := s.pipe.Score(att, p)
+	resp := ScoreResponse{
+		Score:           d.Score,
+		Signals:         d.Signals,
+		Verdict:         d.Verdict,
+		ChallengeMethod: d.ChallengeMethod,
+	}
+	if d.Challenge != nil {
+		resp.ChallengePassed = &d.Challenge.Passed
+	}
+	s.metrics.observeScore(d, time.Since(start))
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req OutcomeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, "bad json: "+err.Error())
+		return
+	}
+	att, err := req.Attempt()
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	s.pipe.RecordOutcome(att, req.Success)
+	s.metrics.observeOutcome(time.Since(start))
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.metrics.badRequests.Add(1)
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// Run serves on ln until ctx is cancelled, then drains: no new connections
+// are accepted and in-flight requests get up to drain to finish. A nil
+// return means the drain completed cleanly — the exit-0 contract the CI
+// smoke asserts.
+func (s *Server) Run(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}

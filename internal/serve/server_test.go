@@ -1,0 +1,254 @@
+package serve_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/core"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/risk"
+	"manualhijack/internal/serve"
+)
+
+func newTestServer(t *testing.T, shards int) (*serve.Client, *serve.Engine) {
+	t.Helper()
+	const seed, pop = 7, 64
+	dir, plan, _ := testWorld(seed, pop, 0)
+	cfg := serve.DefaultConfig(seed)
+	cfg.Shards = shards
+	e := serve.New(dir, plan, cfg)
+	e.Prime()
+	srv := serve.NewServer(e, serve.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &serve.Client{Base: ts.URL}, e
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	c, e := newTestServer(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := e.Directory()
+	acct := dir.Get(1)
+	at := time.Date(2012, 11, 2, 9, 0, 0, 0, time.UTC)
+	plan := core.DefaultIPPlan()
+	rng := randx.New(99).Fork("serve/test/homeip")
+	req := serve.ScoreRequest{
+		Account:    acct.ID,
+		IP:         plan.Addr(rng, acct.HomeCountry).String(),
+		DeviceID:   identity.DeviceFingerprint(acct.ID),
+		At:         at,
+		PasswordOK: true,
+	}
+	resp, err := c.Score(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home country, usual device, primed baseline: nothing anomalous.
+	if resp.Verdict != serve.VerdictAdmit || resp.Score != 0 {
+		t.Fatalf("benign primed login: verdict=%s score=%v, want admit 0", resp.Verdict, resp.Score)
+	}
+	if err := c.Outcome(serve.OutcomeRequest{
+		Account: acct.ID, IP: req.IP, DeviceID: req.DeviceID, At: at, Success: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Statz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != 1 || st.Outcome != 1 {
+		t.Fatalf("statz counts score=%d outcome=%d, want 1/1", st.Score, st.Outcome)
+	}
+	if st.Verdicts[serve.VerdictAdmit] != 1 {
+		t.Fatalf("statz verdicts = %v, want one admit", st.Verdicts)
+	}
+	if st.Latency.N != 2 {
+		t.Fatalf("statz latency n=%d, want 2", st.Latency.N)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	c, _ := newTestServer(t, 1)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", "{nope"},
+		{"bad ip", `{"account":1,"ip":"not-an-ip","at":"2012-11-02T09:00:00Z"}`},
+		{"missing account", `{"ip":"1.2.3.4","at":"2012-11-02T09:00:00Z"}`},
+		{"zero time", `{"account":1,"ip":"1.2.3.4"}`},
+	}
+	for _, tc := range cases {
+		r, err := http.Post(c.Base+"/v1/score", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, r.StatusCode)
+		}
+	}
+	st, err := c.Statz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BadRequests != int64(len(cases)) {
+		t.Fatalf("statz bad_requests=%d, want %d", st.BadRequests, len(cases))
+	}
+}
+
+// gatedPipeline blocks every Score call until released — it makes "N
+// requests in flight" a deterministic state instead of a race.
+type gatedPipeline struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedPipeline) Score(risk.Attempt, *challenge.Principal) serve.Decision {
+	g.entered <- struct{}{}
+	<-g.release
+	return serve.Decision{Verdict: serve.VerdictAdmit}
+}
+
+func (g *gatedPipeline) RecordOutcome(risk.Attempt, bool) {}
+
+const scoreBody = `{"account":1,"ip":"1.2.3.4","at":"2012-11-02T09:00:00Z","password_ok":true}`
+
+// validScoreReq passes wire validation; the gated/slow test pipelines
+// ignore its contents.
+func validScoreReq() serve.ScoreRequest {
+	return serve.ScoreRequest{
+		Account:    1,
+		IP:         "1.2.3.4",
+		At:         time.Date(2012, 11, 2, 9, 0, 0, 0, time.UTC),
+		PasswordOK: true,
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	g := &gatedPipeline{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	srv := serve.NewServer(g, serve.ServerConfig{MaxInFlight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &serve.Client{Base: ts.URL}
+
+	// Fill both slots.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Score(validScoreReq())
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-g.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight requests never reached the pipeline")
+		}
+	}
+
+	// Third arrival must shed immediately with 429 + Retry-After.
+	r, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(scoreBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request: status %d, want 429", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	close(g.release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("gated request failed after release: %v", err)
+		}
+	}
+	if got := srv.Metrics().Snapshot().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+// slowPipeline stalls longer than the request timeout.
+type slowPipeline struct{ d time.Duration }
+
+func (s *slowPipeline) Score(risk.Attempt, *challenge.Principal) serve.Decision {
+	time.Sleep(s.d)
+	return serve.Decision{Verdict: serve.VerdictAdmit}
+}
+
+func (s *slowPipeline) RecordOutcome(risk.Attempt, bool) {}
+
+func TestRequestTimeout(t *testing.T) {
+	srv := serve.NewServer(&slowPipeline{d: 300 * time.Millisecond},
+		serve.ServerConfig{RequestTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(scoreBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("slow request: status %d, want 503", r.StatusCode)
+	}
+}
+
+// TestGracefulDrain proves the exit-0 contract: cancel while a request is
+// in flight, and Run must finish that request and return nil within the
+// drain budget.
+func TestGracefulDrain(t *testing.T) {
+	g := &gatedPipeline{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := serve.NewServer(g, serve.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx, ln, 5*time.Second) }()
+
+	c := &serve.Client{Base: "http://" + ln.Addr().String()}
+	if err := c.WaitHealthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	scoreErr := make(chan error, 1)
+	go func() {
+		_, err := c.Score(validScoreReq())
+		scoreErr <- err
+	}()
+	<-g.entered
+
+	cancel() // SIGTERM equivalent: drain begins with one request in flight
+	time.Sleep(50 * time.Millisecond)
+	close(g.release)
+
+	if err := <-scoreErr; err != nil {
+		t.Fatalf("in-flight request aborted during drain: %v", err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil (clean drain)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manualhijack/internal/stats"
+)
+
+// latWindow bounds the latency history: percentiles are computed over the
+// most recent latWindow requests so a long-running server's memory stays
+// flat. 8k observations keep p99 stable at any realistic QPS.
+const latWindow = 8192
+
+// Metrics collects the serving counters behind /v1/statz. Counters are
+// atomics; the latency ring takes a short mutex per observation.
+type Metrics struct {
+	start time.Time
+
+	score       atomic.Int64
+	outcome     atomic.Int64
+	rejected    atomic.Int64
+	badRequests atomic.Int64
+
+	admit      atomic.Int64
+	challenged atomic.Int64
+	blocked    atomic.Int64
+	challenges atomic.Int64
+
+	lat latRing
+}
+
+// NewMetrics returns metrics anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), lat: latRing{buf: make([]float64, 0, latWindow)}}
+}
+
+func (m *Metrics) observeScore(d Decision, took time.Duration) {
+	m.score.Add(1)
+	switch d.Verdict {
+	case VerdictAdmit:
+		m.admit.Add(1)
+	case VerdictChallenge:
+		m.challenged.Add(1)
+	case VerdictBlock:
+		m.blocked.Add(1)
+	}
+	if d.Challenge != nil {
+		m.challenges.Add(1)
+	}
+	m.lat.observe(took)
+}
+
+func (m *Metrics) observeOutcome(took time.Duration) {
+	m.outcome.Add(1)
+	m.lat.observe(took)
+}
+
+// Snapshot renders the current counters as a statz reply. Percentiles come
+// from a stats.Sample built over the latency window.
+func (m *Metrics) Snapshot() StatzResponse {
+	sample := m.lat.sample()
+	return StatzResponse{
+		UptimeS:     time.Since(m.start).Seconds(),
+		Score:       m.score.Load(),
+		Outcome:     m.outcome.Load(),
+		Rejected:    m.rejected.Load(),
+		BadRequests: m.badRequests.Load(),
+		Verdicts: map[Verdict]int64{
+			VerdictAdmit:     m.admit.Load(),
+			VerdictChallenge: m.challenged.Load(),
+			VerdictBlock:     m.blocked.Load(),
+		},
+		ChallengesRun: m.challenges.Load(),
+		Latency: LatencyWire{
+			N:     sample.N(),
+			P50us: sample.Percentile(50),
+			P95us: sample.Percentile(95),
+			P99us: sample.Percentile(99),
+			MaxUs: sample.Max(),
+		},
+	}
+}
+
+// latRing keeps the last latWindow latencies in microseconds.
+type latRing struct {
+	mu  sync.Mutex
+	buf []float64
+	idx int
+}
+
+func (r *latRing) observe(d time.Duration) {
+	us := float64(d.Microseconds())
+	r.mu.Lock()
+	if len(r.buf) < latWindow {
+		r.buf = append(r.buf, us)
+	} else {
+		r.buf[r.idx] = us
+		r.idx = (r.idx + 1) % latWindow
+	}
+	r.mu.Unlock()
+}
+
+// sample snapshots the window into a stats.Sample for percentile queries.
+func (r *latRing) sample() *stats.Sample {
+	r.mu.Lock()
+	snap := append([]float64(nil), r.buf...)
+	r.mu.Unlock()
+	var s stats.Sample
+	for _, v := range snap {
+		s.Add(v)
+	}
+	return &s
+}

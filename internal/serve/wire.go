@@ -1,0 +1,163 @@
+// Package serve exposes the login-risk decision pipeline — risk.Analyzer
+// scoring plus challenge.Challenger escalation — as an online service: the
+// thing the paper calls "the best defense strategy that an identity
+// provider can implement" (§8.2), exercised the way an identity provider
+// actually runs it: as a network endpoint under concurrent login traffic.
+//
+// The package has three layers:
+//
+//   - Engine (engine.go): the sharded decision pipeline. risk.Analyzer is
+//     single-goroutine by contract, so the engine partitions accounts over
+//     N shards by AccountID hash — each shard owns one analyzer and one
+//     challenger behind a mutex — while the cross-account IP-fanout signal
+//     lives in its own IP-sharded, leaf-locked state shared by all account
+//     shards. Throughput scales with cores; per-account history stays
+//     sequentially consistent.
+//   - Server (server.go): net/http + JSON front-end with request timeouts,
+//     bounded-queue backpressure (429, never unbounded growth), metrics
+//     (stats.go), and graceful drain on shutdown.
+//   - Replay (client.go, replay.go): a client that streams the login
+//     attempts out of an NDJSON dump through a live server and cross-checks
+//     every served score and verdict against what the simulator decided for
+//     the same seed — tying the serving path back to the measurement
+//     pipeline.
+package serve
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/risk"
+)
+
+// Verdict is the service's decision for one login attempt.
+type Verdict string
+
+// Verdicts. They mirror the auth.Service risk gate: scores in
+// [ChallengeThreshold, BlockThreshold) challenge, scores at or above
+// BlockThreshold block, everything below admits.
+const (
+	VerdictAdmit     Verdict = "admit"
+	VerdictChallenge Verdict = "challenge"
+	VerdictBlock     Verdict = "block"
+)
+
+// VerdictFor maps a risk score onto a verdict using the given thresholds —
+// the same cutoff semantics auth.Service.admit applies in the simulator.
+func VerdictFor(score, challengeAt, blockAt float64) Verdict {
+	switch {
+	case score >= blockAt:
+		return VerdictBlock
+	case score >= challengeAt:
+		return VerdictChallenge
+	default:
+		return VerdictAdmit
+	}
+}
+
+// ScoreRequest is the POST /v1/score body: one login attempt, described by
+// its observable fields (never ground truth).
+type ScoreRequest struct {
+	Account    identity.AccountID `json:"account"`
+	IP         string             `json:"ip"`
+	DeviceID   string             `json:"device_id,omitempty"`
+	At         time.Time          `json:"at"`
+	PasswordOK bool               `json:"password_ok"`
+	// Principal optionally carries the login principal's capabilities; when
+	// present and the verdict is "challenge", the server actually runs the
+	// challenge and reports the outcome.
+	Principal *PrincipalWire `json:"principal,omitempty"`
+}
+
+// PrincipalWire is the JSON form of challenge.Principal.
+type PrincipalWire struct {
+	Phones         []string `json:"phones,omitempty"`
+	KnowledgeSkill float64  `json:"knowledge_skill,omitempty"`
+}
+
+// Principal converts the wire form.
+func (p *PrincipalWire) Principal() challenge.Principal {
+	phones := make([]geo.Phone, len(p.Phones))
+	for i, ph := range p.Phones {
+		phones[i] = geo.Phone(ph)
+	}
+	return challenge.Principal{Phones: phones, KnowledgeSkill: p.KnowledgeSkill}
+}
+
+// Attempt converts the request into a risk.Attempt, validating the IP.
+func (r *ScoreRequest) Attempt() (risk.Attempt, error) {
+	if r.Account == identity.None {
+		return risk.Attempt{}, fmt.Errorf("serve: missing account")
+	}
+	ip, err := netip.ParseAddr(r.IP)
+	if err != nil {
+		return risk.Attempt{}, fmt.Errorf("serve: bad ip %q: %w", r.IP, err)
+	}
+	if r.At.IsZero() {
+		return risk.Attempt{}, fmt.Errorf("serve: missing attempt time")
+	}
+	return risk.Attempt{
+		Account:    r.Account,
+		IP:         ip,
+		DeviceID:   r.DeviceID,
+		At:         r.At,
+		PasswordOK: r.PasswordOK,
+	}, nil
+}
+
+// ScoreResponse is the POST /v1/score reply.
+type ScoreResponse struct {
+	Score   float64      `json:"score"`
+	Signals risk.Signals `json:"signals"`
+	Verdict Verdict      `json:"verdict"`
+	// ChallengeMethod is the method the provider would use when Verdict is
+	// "challenge" (sms, knowledge, or none).
+	ChallengeMethod challenge.Method `json:"challenge_method,omitempty"`
+	// ChallengePassed reports the challenge outcome when the request carried
+	// a principal and a challenge actually ran.
+	ChallengePassed *bool `json:"challenge_passed,omitempty"`
+}
+
+// OutcomeRequest is the POST /v1/outcome body: the service's final decision
+// for an earlier attempt, fed back so account history evolves — successes
+// absorb the country/device/IP observations, failures grow the
+// failure-history signal.
+type OutcomeRequest struct {
+	Account  identity.AccountID `json:"account"`
+	IP       string             `json:"ip"`
+	DeviceID string             `json:"device_id,omitempty"`
+	At       time.Time          `json:"at"`
+	Success  bool               `json:"success"`
+}
+
+// Attempt converts the request into a risk.Attempt, validating the IP.
+func (r *OutcomeRequest) Attempt() (risk.Attempt, error) {
+	sr := ScoreRequest{Account: r.Account, IP: r.IP, DeviceID: r.DeviceID, At: r.At}
+	return sr.Attempt()
+}
+
+// LatencyWire reports request-latency percentiles in microseconds, computed
+// from a stats.Sample over the most recent requests.
+type LatencyWire struct {
+	N     int     `json:"n"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
+}
+
+// StatzResponse is the GET /v1/statz reply.
+type StatzResponse struct {
+	UptimeS       float64           `json:"uptime_s"`
+	Score         int64             `json:"score_requests"`
+	Outcome       int64             `json:"outcome_requests"`
+	Rejected      int64             `json:"rejected_429"`
+	BadRequests   int64             `json:"bad_requests"`
+	Verdicts      map[Verdict]int64 `json:"verdicts"`
+	ChallengesRun int64             `json:"challenges_run"`
+	Latency       LatencyWire       `json:"latency"`
+}

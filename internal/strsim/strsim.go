@@ -28,7 +28,7 @@ func Levenshtein(a, b string) int {
 			if ra[i-1] == rb[j-1] {
 				cost = 0
 			}
-			cur[j] = min3(
+			cur[j] = min(
 				prev[j]+1,      // delete
 				cur[j-1]+1,     // insert
 				prev[j-1]+cost, // substitute
@@ -45,23 +45,9 @@ func Similarity(a, b string) float64 {
 	if a == b {
 		return 1
 	}
-	la, lb := len([]rune(a)), len([]rune(b))
-	max := la
-	if lb > max {
-		max = lb
-	}
-	if max == 0 {
+	longest := max(len([]rune(a)), len([]rune(b)))
+	if longest == 0 {
 		return 1
 	}
-	return 1 - float64(Levenshtein(a, b))/float64(max)
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
+	return 1 - float64(Levenshtein(a, b))/float64(longest)
 }

@@ -41,6 +41,10 @@ echo "== logstore benches (benchtime=$BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkAppend|BenchmarkSeal$|BenchmarkSelectIndexed|BenchmarkBetweenIndexed|BenchmarkKindCountsIndexed' \
     -benchtime "$BENCHTIME" -count "$COUNT" ./internal/logstore/ | tee -a "$TXT"
 
+echo "== serving pipeline benches (benchtime=$BENCHTIME)" >&2
+go test -run '^$' -bench 'BenchmarkServeScore' -benchtime "$BENCHTIME" -count "$COUNT" \
+    ./internal/serve/ | tee -a "$TXT"
+
 echo "== world + study engine benches" >&2
 go test -run '^$' -bench 'BenchmarkWorldRun' -benchtime 5x -count "$COUNT" \
     ./internal/core/ | tee -a "$TXT"
