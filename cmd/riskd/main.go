@@ -6,12 +6,19 @@
 // assembles for a seed — account population, home geographies, recovery
 // options, the IP plan — primes per-account baselines, and exposes:
 //
-//	POST /v1/score    {account, ip, device_id, at, password_ok[, principal]}
-//	                  → {score, signals, verdict: admit|challenge|block,
-//	                     challenge_method[, challenge_passed]}
-//	POST /v1/outcome  {account, ip, device_id, at, success} → {ok}
-//	GET  /v1/healthz  liveness
-//	GET  /v1/statz    request counts, verdict mix, latency percentiles
+//	POST /v1/score        {account, ip, device_id, at, password_ok[, principal]}
+//	                      → {score, signals, verdict: admit|challenge|block,
+//	                         challenge_method[, challenge_passed]}
+//	POST /v1/outcome      {account, ip, device_id, at, success} → {ok}
+//	POST /v1/score.batch  NDJSON stream of score/outcome lines (op field
+//	                      selects), one response line per request line —
+//	                      amortizes HTTP framing across a whole batch
+//	GET  /v1/healthz      liveness
+//	GET  /v1/statz        request counts, verdict mix, latency percentiles
+//
+// The score/outcome hot path runs on hand-rolled JSON codecs
+// (internal/serve/codec.go) and pooled buffers — no encoding/json and no
+// per-request heap churn on the wire layer.
 //
 // Because the bootstrap is seed-deterministic, `riskload -replay` can
 // stream a simulator dump through a riskd started with the same seed and
@@ -21,7 +28,8 @@
 //
 //	riskd [-addr :8077] [-seed N] [-pop N] [-decoys N] [-shards N]
 //	      [-challenge-threshold F] [-block-threshold F]
-//	      [-max-inflight N] [-queue-wait D] [-timeout D] [-drain D]
+//	      [-max-inflight N] [-queue-wait D] [-timeout D] [-batch-timeout D]
+//	      [-drain D]
 //
 // On SIGTERM/SIGINT the server stops accepting connections, drains
 // in-flight requests for at most -drain, prints a final stats summary, and
@@ -55,6 +63,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "bounded queue: max concurrent score/outcome requests before 429")
 	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit request may wait for a slot before 429")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request timeout")
+	batchTimeout := flag.Duration("batch-timeout", serve.DefaultBatchTimeout, "per-request timeout for /v1/score.batch streams")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
 
@@ -72,6 +81,7 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		QueueWait:      *queueWait,
 		RequestTimeout: *timeout,
+		BatchTimeout:   *batchTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,109 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"manualhijack/internal/serve"
+)
+
+// benchHandler builds a primed server handler plus pre-encoded request
+// bodies drawn from the shared test world, so the benchmark loop measures
+// decode + score + encode and nothing else.
+func benchHandler(b *testing.B, shards, n int) (http.Handler, [][]byte) {
+	b.Helper()
+	const seed, pop = 3, 2000
+	dir, plan, atts := testWorld(seed, pop, n)
+	cfg := serve.DefaultConfig(seed)
+	cfg.Shards = shards
+	e := serve.New(dir, plan, cfg)
+	e.Prime()
+	h := serve.NewServer(e, serve.ServerConfig{}).Handler()
+
+	bodies := make([][]byte, n)
+	for i, att := range atts {
+		req := serve.ScoreRequest{
+			Account:    att.Account,
+			IP:         att.IP.String(),
+			DeviceID:   att.DeviceID,
+			At:         att.At,
+			PasswordOK: att.PasswordOK,
+		}
+		bodies[i] = serve.AppendScoreRequest(nil, &req)
+	}
+	return h, bodies
+}
+
+// BenchmarkServeScoreParallel drives the whole HTTP handler — routing,
+// backpressure, wire decode, sharded scoring, wire encode — concurrently
+// through in-process recorders. This is the per-request serving cost minus
+// the kernel's TCP bill, the figure the zero-alloc wire layer moves.
+func BenchmarkServeScoreParallel(b *testing.B) {
+	const n = 8192
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			h, bodies := benchHandler(b, shards, n)
+			var idx atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rd := bytes.NewReader(nil)
+				for pb.Next() {
+					rd.Reset(bodies[int(idx.Add(1))%n])
+					req := httptest.NewRequest(http.MethodPost, "/v1/score", rd)
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeScoreBatch measures the batch endpoint at various batch
+// sizes: the per-login cost should fall as HTTP framing amortizes.
+func BenchmarkServeScoreBatch(b *testing.B) {
+	const n = 8192
+	for _, size := range []int{16, 128} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			h, bodies := benchHandler(b, 4, n)
+			// Pre-frame NDJSON request bodies of `size` score lines each.
+			var frames [][]byte
+			for at := 0; at+size <= n; at += size {
+				var f []byte
+				for _, line := range bodies[at : at+size] {
+					f = append(f, line...)
+					f = append(f, '\n')
+				}
+				frames = append(frames, f)
+			}
+			var idx atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			// One benchmark iteration = one login, to stay comparable with
+			// BenchmarkServeScoreParallel's per-request numbers.
+			b.RunParallel(func(pb *testing.PB) {
+				rd := bytes.NewReader(nil)
+				for pb.Next() {
+					// Claim a whole frame's worth of iterations at once.
+					k := int(idx.Add(1)) % len(frames)
+					for burned := 1; burned < size && pb.Next(); burned++ {
+					}
+					rd.Reset(frames[k])
+					req := httptest.NewRequest(http.MethodPost, "/v1/score.batch", rd)
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+		})
+	}
+}

@@ -8,15 +8,48 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
+
+// defaultClient is the fallback *http.Client. http.DefaultClient's
+// transport caps idle connections at 2 per host (the net/http default), so
+// anything more concurrent than 2 workers hammering one riskd constantly
+// re-dials — exactly the path concurrent replay saturates. This transport
+// keeps enough idle connections around for every worker riskload can
+// realistically run, and skips the HTTP/2 upgrade probe (riskd speaks
+// plain HTTP/1.1 over loopback).
+var (
+	defaultClientOnce sync.Once
+	defaultClient     *http.Client
+)
+
+// DefaultTransportConns is the idle-connection budget of the default
+// client — comfortably above any -workers value riskload uses.
+const DefaultTransportConns = 256
+
+func sharedClient() *http.Client {
+	defaultClientOnce.Do(func() {
+		defaultClient = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        DefaultTransportConns,
+				MaxIdleConnsPerHost: DefaultTransportConns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	})
+	return defaultClient
+}
 
 // Client is a typed HTTP client for a riskd server. It is safe for
 // concurrent use (http.Client is).
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8077".
 	Base string
-	// HTTP is the underlying client; nil means http.DefaultClient.
+	// HTTP is the underlying client; nil means a shared client whose
+	// transport is tuned for many concurrent workers against one host
+	// (MaxIdleConnsPerHost = DefaultTransportConns, vs http.DefaultClient's
+	// 2, which thrashes the dial path under concurrent replay).
 	HTTP *http.Client
 }
 
@@ -24,19 +57,18 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return sharedClient()
 }
 
 func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
 }
 
-func (c *Client) post(path string, req, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	r, err := c.http().Post(c.url(path), "application/json", bytes.NewReader(body))
+// postBytes posts body and decodes a JSON reply into resp (skipped when
+// resp is nil). The body buffer is owned by the caller and free for reuse
+// once postBytes returns.
+func (c *Client) postBytes(path, contentType string, body []byte, resp any) error {
+	r, err := c.http().Post(c.url(path), contentType, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -67,10 +99,23 @@ func IsRejected(err error) bool {
 	return ok && se.Code == http.StatusTooManyRequests
 }
 
+// reqBufPool recycles client-side request-encode buffers.
+var reqBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 // Score submits one attempt for scoring.
 func (c *Client) Score(req ScoreRequest) (*ScoreResponse, error) {
+	bb := reqBufPool.Get().(*[]byte)
+	body := AppendScoreRequest((*bb)[:0], &req)
 	var resp ScoreResponse
-	if err := c.post("/v1/score", req, &resp); err != nil {
+	err := c.postBytes("/v1/score", "application/json", body, &resp)
+	*bb = body[:0]
+	reqBufPool.Put(bb)
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -78,7 +123,124 @@ func (c *Client) Score(req ScoreRequest) (*ScoreResponse, error) {
 
 // Outcome feeds back a final decision.
 func (c *Client) Outcome(req OutcomeRequest) error {
-	return c.post("/v1/outcome", req, nil)
+	bb := reqBufPool.Get().(*[]byte)
+	body := AppendOutcomeRequest((*bb)[:0], &req)
+	err := c.postBytes("/v1/outcome", "application/json", body, nil)
+	*bb = body[:0]
+	reqBufPool.Put(bb)
+	return err
+}
+
+// BatchResult is one line of a /v1/score.batch reply.
+type BatchResult struct {
+	// Score is set for score items.
+	Score *ScoreResponse
+	// OK is true for acknowledged outcome items.
+	OK bool
+	// Err carries the server's per-line error, empty on success.
+	Err string
+}
+
+// Batch streams items through POST /v1/score.batch and returns one result
+// per item, in order. A transport-level failure (or a line-count mismatch,
+// which means the stream desynchronized) is returned as an error; per-item
+// failures come back in BatchResult.Err.
+func (c *Client) Batch(items []BatchItem) ([]BatchResult, error) {
+	bb := reqBufPool.Get().(*[]byte)
+	body := (*bb)[:0]
+	for i := range items {
+		body = AppendBatchItem(body, &items[i])
+		body = append(body, '\n')
+	}
+	r, err := c.http().Post(c.url("/v1/score.batch"), "application/x-ndjson", bytes.NewReader(body))
+	*bb = body[:0]
+	reqBufPool.Put(bb)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return nil, &StatusError{Code: r.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+
+	results := make([]BatchResult, 0, len(items))
+	sc := newLineScanner(r.Body)
+	for sc.scan() {
+		line := sc.bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Err *string `json:"error"`
+			OK  *bool   `json:"ok"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("serve: batch: bad response line %q: %w", line, err)
+		}
+		switch {
+		case probe.Err != nil:
+			results = append(results, BatchResult{Err: *probe.Err})
+		case probe.OK != nil:
+			results = append(results, BatchResult{OK: *probe.OK})
+		default:
+			var sr ScoreResponse
+			if err := json.Unmarshal(line, &sr); err != nil {
+				return nil, fmt.Errorf("serve: batch: bad score line %q: %w", line, err)
+			}
+			results = append(results, BatchResult{Score: &sr})
+		}
+	}
+	if err := sc.err(); err != nil {
+		return nil, fmt.Errorf("serve: batch: reading response: %w", err)
+	}
+	if len(results) != len(items) {
+		return nil, fmt.Errorf("serve: batch: sent %d items, got %d response lines (stream desynchronized)",
+			len(items), len(results))
+	}
+	return results, nil
+}
+
+// lineScanner is a bufio.Scanner stand-in sized for batch response lines.
+type lineScanner struct {
+	r    io.Reader
+	buf  []byte
+	line []byte
+	e    error
+}
+
+func newLineScanner(r io.Reader) *lineScanner { return &lineScanner{r: r} }
+
+func (s *lineScanner) scan() bool {
+	for {
+		if i := bytes.IndexByte(s.buf, '\n'); i >= 0 {
+			s.line = s.buf[:i]
+			s.buf = s.buf[i+1:]
+			return true
+		}
+		if s.e != nil {
+			if len(s.buf) > 0 {
+				s.line, s.buf = s.buf, nil
+				return true
+			}
+			return false
+		}
+		chunk := make([]byte, 32*1024)
+		n, err := s.r.Read(chunk)
+		s.buf = append(s.buf, chunk[:n]...)
+		if err != nil {
+			s.e = err
+		}
+	}
+}
+
+func (s *lineScanner) bytes() []byte { return s.line }
+
+func (s *lineScanner) err() error {
+	if s.e == io.EOF || s.e == nil {
+		return nil
+	}
+	return s.e
 }
 
 // Statz fetches the serving counters.

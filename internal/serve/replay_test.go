@@ -50,29 +50,60 @@ func TestReplayParity(t *testing.T) {
 		return &serve.Client{Base: ts.URL}
 	}
 
-	rcfg := serve.ReplayConfig{
+	base := serve.ReplayConfig{
 		ChallengeThreshold: cfg.Auth.ChallengeThreshold,
 		BlockThreshold:     cfg.Auth.BlockThreshold,
 	}
-	rs, err := serve.Replay(st, newEngine(true), rcfg)
-	if err != nil {
-		t.Fatal(err)
+	// Parity must hold in every transport mode: sequential per-request,
+	// concurrent lanes, and concurrent batched streams.
+	modes := []struct {
+		name string
+		mod  func(*serve.ReplayConfig)
+	}{
+		{"sequential", func(*serve.ReplayConfig) {}},
+		{"workers4", func(c *serve.ReplayConfig) { c.Workers = 4 }},
+		{"workers4-batch64", func(c *serve.ReplayConfig) { c.Workers = 4; c.BatchSize = 64 }},
 	}
-	if rs.Mismatches != 0 {
-		t.Fatalf("replay parity: %d mismatches of %d scored; first: %s",
-			rs.Mismatches, rs.Scored, rs.FirstMismatch)
-	}
-	if rs.Scored < 1000 {
-		t.Fatalf("replay scored only %d logins — world too quiet to prove anything", rs.Scored)
-	}
-	if rs.Scored+rs.Skipped != rs.Logins {
-		t.Fatalf("accounting: scored %d + skipped %d != logins %d", rs.Scored, rs.Skipped, rs.Logins)
+	var seqScored int
+	for _, m := range modes {
+		rcfg := base
+		m.mod(&rcfg)
+		rs, err := serve.Replay(st, newEngine(true), rcfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if rs.Mismatches != 0 {
+			t.Fatalf("%s: replay parity: %d mismatches of %d scored; first: %s",
+				m.name, rs.Mismatches, rs.Scored, rs.FirstMismatch)
+		}
+		if rs.Scored < 1000 {
+			t.Fatalf("%s: replay scored only %d logins — world too quiet to prove anything", m.name, rs.Scored)
+		}
+		if rs.Scored+rs.Skipped != rs.Logins {
+			t.Fatalf("%s: accounting: scored %d + skipped %d != logins %d",
+				m.name, rs.Scored, rs.Skipped, rs.Logins)
+		}
+		if seqScored == 0 {
+			seqScored = rs.Scored
+		} else if rs.Scored != seqScored {
+			t.Fatalf("%s: scored %d logins, sequential scored %d — modes disagree on coverage",
+				m.name, rs.Scored, seqScored)
+		}
+		if rs.BatchSize > 0 {
+			// Batching must actually amortize round trips.
+			if rs.HTTPReqs >= int64(rs.Scored) {
+				t.Fatalf("%s: %d HTTP requests for %d logins — batching not amortizing",
+					m.name, rs.HTTPReqs, rs.Scored)
+			}
+		} else if rs.HTTPReqs != int64(2*rs.Scored) {
+			t.Fatalf("%s: %d HTTP requests, want %d (2 per login)", m.name, rs.HTTPReqs, 2*rs.Scored)
+		}
 	}
 
 	// Negative control: an unprimed engine sees every first login as a new
 	// country + new device and must diverge. If this passes with zero
 	// mismatches, the parity check itself is broken.
-	rs2, err := serve.Replay(st, newEngine(false), rcfg)
+	rs2, err := serve.Replay(st, newEngine(false), base)
 	if err != nil {
 		t.Fatal(err)
 	}

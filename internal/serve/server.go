@@ -2,10 +2,11 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"manualhijack/internal/challenge"
@@ -32,16 +33,66 @@ type ServerConfig struct {
 	// RequestTimeout aborts a score/outcome request that exceeds it with
 	// 503. 0 means DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// BatchTimeout is the per-request timeout for /v1/score.batch, which
+	// legitimately runs much longer than a single score (hundreds of
+	// logins per round trip). 0 means DefaultBatchTimeout.
+	BatchTimeout time.Duration
 }
 
 // Defaults for ServerConfig zero values.
 const (
 	DefaultMaxInFlight    = 1024
 	DefaultRequestTimeout = 2 * time.Second
+	DefaultBatchTimeout   = 60 * time.Second
 )
 
-// Server is the riskd HTTP front-end: /v1/score, /v1/outcome, /v1/healthz,
-// /v1/statz.
+// maxBodyBytes caps a single score/outcome request body. The real wire
+// structs are well under 1 KiB; the cap only exists so a hostile client
+// cannot balloon the pooled buffers.
+const maxBodyBytes = 1 << 20
+
+// bufPool recycles the request-body and response-encode buffers on the
+// score/outcome hot path, so a warmed-up server does zero buffer
+// allocations per request.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+// readBody reads r's body into buf (growing it as needed) and returns the
+// filled slice. Bodies over maxBodyBytes are refused.
+func readBody(buf []byte, r *http.Request) ([]byte, error) {
+	if r.ContentLength > maxBodyBytes {
+		return nil, errors.New("request body too large")
+	}
+	if n := int(r.ContentLength); n > 0 && cap(buf) < n {
+		buf = make([]byte, 0, n)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			if cap(buf) >= maxBodyBytes {
+				return nil, errors.New("request body too large")
+			}
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Server is the riskd HTTP front-end: /v1/score, /v1/score.batch,
+// /v1/outcome, /v1/healthz, /v1/statz.
 type Server struct {
 	pipe    Pipeline
 	cfg     ServerConfig
@@ -58,6 +109,9 @@ func NewServer(pipe Pipeline, cfg ServerConfig) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = DefaultBatchTimeout
+	}
 	s := &Server{
 		pipe:    pipe,
 		cfg:     cfg,
@@ -66,11 +120,15 @@ func NewServer(pipe Pipeline, cfg ServerConfig) *Server {
 		mux:     http.NewServeMux(),
 	}
 	// Backpressure sits outside the timeout handler so shed requests cost
-	// one channel operation, not a goroutine.
+	// one channel operation, not a goroutine. A batch occupies one slot —
+	// the queue bounds connections doing work, and a batch is one
+	// connection's pipelined work.
 	s.mux.Handle("POST /v1/score",
 		s.withBackpressure(http.TimeoutHandler(http.HandlerFunc(s.handleScore), cfg.RequestTimeout, "request timed out\n")))
 	s.mux.Handle("POST /v1/outcome",
 		s.withBackpressure(http.TimeoutHandler(http.HandlerFunc(s.handleOutcome), cfg.RequestTimeout, "request timed out\n")))
+	s.mux.Handle("POST /v1/score.batch",
+		s.withBackpressure(http.TimeoutHandler(http.HandlerFunc(s.handleScoreBatch), cfg.BatchTimeout, "batch timed out\n")))
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	return s
@@ -120,10 +178,22 @@ func (s *Server) reject(w http.ResponseWriter) {
 	http.Error(w, "overloaded: bounded queue full", http.StatusTooManyRequests)
 }
 
+// okJSON is the /v1/outcome reply — the exact bytes the old
+// json.Encoder.Encode(map[string]bool{"ok": true}) produced.
+var okJSON = []byte("{\"ok\":true}\n")
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	bb := getBuf()
+	defer putBuf(bb)
+	body, err := readBody((*bb)[:0], r)
+	if err != nil {
+		s.badRequest(w, "bad body: "+err.Error())
+		return
+	}
+	*bb = body[:0]
 	var req ScoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := DecodeScoreRequest(body, &req); err != nil {
 		s.badRequest(w, "bad json: "+err.Error())
 		return
 	}
@@ -148,13 +218,28 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		resp.ChallengePassed = &d.Challenge.Passed
 	}
 	s.metrics.observeScore(d, time.Since(start))
-	writeJSON(w, resp)
+
+	ob := getBuf()
+	defer putBuf(ob)
+	out := AppendScoreResponse((*ob)[:0], &resp)
+	out = append(out, '\n')
+	*ob = out[:0]
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
 }
 
 func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	bb := getBuf()
+	defer putBuf(bb)
+	body, err := readBody((*bb)[:0], r)
+	if err != nil {
+		s.badRequest(w, "bad body: "+err.Error())
+		return
+	}
+	*bb = body[:0]
 	var req OutcomeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := DecodeOutcomeRequest(body, &req); err != nil {
 		s.badRequest(w, "bad json: "+err.Error())
 		return
 	}
@@ -165,7 +250,8 @@ func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	}
 	s.pipe.RecordOutcome(att, req.Success)
 	s.metrics.observeOutcome(time.Since(start))
-	writeJSON(w, map[string]bool{"ok": true})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(okJSON)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -174,18 +260,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	ob := getBuf()
+	defer putBuf(ob)
+	out := AppendStatzResponse((*ob)[:0], &snap)
+	out = append(out, '\n')
+	*ob = out[:0]
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, msg string) {
 	s.metrics.badRequests.Add(1)
 	http.Error(w, msg, http.StatusBadRequest)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
 }
 
 // Run serves on ln until ctx is cancelled, then drains: no new connections

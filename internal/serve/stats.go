@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"sync"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -13,8 +13,9 @@ import (
 // flat. 8k observations keep p99 stable at any realistic QPS.
 const latWindow = 8192
 
-// Metrics collects the serving counters behind /v1/statz. Counters are
-// atomics; the latency ring takes a short mutex per observation.
+// Metrics collects the serving counters behind /v1/statz. Counters and the
+// latency ring are all atomics — the score hot path never takes a lock
+// here.
 type Metrics struct {
 	start time.Time
 
@@ -33,7 +34,7 @@ type Metrics struct {
 
 // NewMetrics returns metrics anchored at now.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), lat: latRing{buf: make([]float64, 0, latWindow)}}
+	return &Metrics{start: time.Now()}
 }
 
 func (m *Metrics) observeScore(d Decision, took time.Duration) {
@@ -83,33 +84,34 @@ func (m *Metrics) Snapshot() StatzResponse {
 	}
 }
 
-// latRing keeps the last latWindow latencies in microseconds.
+// latRing keeps the last latWindow latencies in microseconds, lock-free:
+// writers claim a slot with one atomic add on the cursor and store the
+// Float64bits there with one atomic store. Under a concurrent reader a
+// slot may briefly hold a value one lap older or newer than its
+// neighbours — harmless for percentile estimation over 8k samples, which
+// is a statistic, not a ledger. The trade is deliberate: the old
+// mutex-guarded ring serialized every score and outcome request through
+// one lock; this version's two uncontended-by-design atomics don't.
 type latRing struct {
-	mu  sync.Mutex
-	buf []float64
-	idx int
+	cursor atomic.Int64            // total observations ever; slot = (cursor-1) % latWindow
+	buf    [latWindow]atomic.Uint64 // math.Float64bits of each latency
 }
 
 func (r *latRing) observe(d time.Duration) {
 	us := float64(d.Microseconds())
-	r.mu.Lock()
-	if len(r.buf) < latWindow {
-		r.buf = append(r.buf, us)
-	} else {
-		r.buf[r.idx] = us
-		r.idx = (r.idx + 1) % latWindow
-	}
-	r.mu.Unlock()
+	n := r.cursor.Add(1)
+	r.buf[(n-1)%latWindow].Store(math.Float64bits(us))
 }
 
 // sample snapshots the window into a stats.Sample for percentile queries.
 func (r *latRing) sample() *stats.Sample {
-	r.mu.Lock()
-	snap := append([]float64(nil), r.buf...)
-	r.mu.Unlock()
+	n := r.cursor.Load()
+	if n > latWindow {
+		n = latWindow
+	}
 	var s stats.Sample
-	for _, v := range snap {
-		s.Add(v)
+	for i := int64(0); i < n; i++ {
+		s.Add(math.Float64frombits(r.buf[i].Load()))
 	}
 	return &s
 }

@@ -16,6 +16,11 @@
 #   COUNT        -count for benchstat variance (default 1)
 #   STUDY_SCALE  hijackstudy -scale for the wall-clock probe (default 0.1)
 #   STUDY_SEED   hijackstudy -seed (default 1)
+#   SERVE_REPLAY set to 1 to also run the riskd replay-throughput sweep
+#                (seed-7 dump through a live riskd at workers {1,4} ×
+#                batch {off,64}); adds a "serving_replay" block to $JSON.
+#                Default 0 — it costs ~1 min and needs a free port.
+#   SERVE_PORT   port for the replay sweep's riskd (default 8099)
 #
 # The checked-in BENCH_<n>.json trajectory files additionally carry a
 # hand-recorded "baseline" block with the pre-PR numbers; regenerating one
@@ -30,6 +35,8 @@ BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-1}"
 STUDY_SCALE="${STUDY_SCALE:-0.1}"
 STUDY_SEED="${STUDY_SEED:-1}"
+SERVE_REPLAY="${SERVE_REPLAY:-0}"
+SERVE_PORT="${SERVE_PORT:-8099}"
 
 : > "$TXT"
 
@@ -41,8 +48,8 @@ echo "== logstore benches (benchtime=$BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkAppend|BenchmarkSeal$|BenchmarkSelectIndexed|BenchmarkBetweenIndexed|BenchmarkKindCountsIndexed' \
     -benchtime "$BENCHTIME" -count "$COUNT" ./internal/logstore/ | tee -a "$TXT"
 
-echo "== serving pipeline benches (benchtime=$BENCHTIME)" >&2
-go test -run '^$' -bench 'BenchmarkServeScore' -benchtime "$BENCHTIME" -count "$COUNT" \
+echo "== serving pipeline + wire codec benches (benchtime=$BENCHTIME)" >&2
+go test -run '^$' -bench 'BenchmarkServeScore|BenchmarkScoreWire' -benchtime "$BENCHTIME" -count "$COUNT" \
     ./internal/serve/ | tee -a "$TXT"
 
 echo "== world + study engine benches" >&2
@@ -50,6 +57,37 @@ go test -run '^$' -bench 'BenchmarkWorldRun' -benchtime 5x -count "$COUNT" \
     ./internal/core/ | tee -a "$TXT"
 go test -run '^$' -bench 'BenchmarkStudyParallel' -benchtime 1x -count "$COUNT" \
     . | tee -a "$TXT"
+
+# Optional: replay-throughput sweep through a live riskd. Each mode gets a
+# fresh riskd (replay evolves analyzer state; parity needs a clean slate)
+# and must finish with zero mismatches — this measures only correct runs.
+REPLAY_SWEEP_DIR=""
+if [ "$SERVE_REPLAY" = "1" ]; then
+    echo "== serving replay sweep (seed-7 dump, workers {1,4} x batch {0,64}, port $SERVE_PORT)" >&2
+    REPLAY_SWEEP_DIR=$(mktemp -d)
+    go build -o "$REPLAY_SWEEP_DIR/hijacksim" ./cmd/hijacksim
+    go build -o "$REPLAY_SWEEP_DIR/riskd" ./cmd/riskd
+    go build -o "$REPLAY_SWEEP_DIR/riskload" ./cmd/riskload
+    "$REPLAY_SWEEP_DIR/hijacksim" -seed 7 -pop 2000 -days 10 -decoys 40 \
+        -events "$REPLAY_SWEEP_DIR/world.ndjson.gz"
+    for mode in "1 0" "4 0" "1 64" "4 64"; do
+        set -- $mode
+        w=$1; b=$2
+        "$REPLAY_SWEEP_DIR/riskd" -addr "127.0.0.1:$SERVE_PORT" -seed 7 -pop 2000 -decoys 40 \
+            2> "$REPLAY_SWEEP_DIR/riskd_w${w}_b${b}.log" &
+        riskd_pid=$!
+        for _ in $(seq 1 100); do
+            curl -sf "http://127.0.0.1:$SERVE_PORT/v1/healthz" > /dev/null 2>&1 && break
+            sleep 0.1
+        done
+        "$REPLAY_SWEEP_DIR/riskload" -addr "http://127.0.0.1:$SERVE_PORT" \
+            -replay "$REPLAY_SWEEP_DIR/world.ndjson.gz" -workers "$w" -batch "$b" \
+            -json "$REPLAY_SWEEP_DIR/replay_w${w}_b${b}.json"
+        kill -TERM "$riskd_pid"
+        wait "$riskd_pid"
+        grep -q 'drained cleanly' "$REPLAY_SWEEP_DIR/riskd_w${w}_b${b}.log"
+    done
+fi
 
 echo "== study wall-clock (scale=$STUDY_SCALE seed=$STUDY_SEED)" >&2
 go build -o /tmp/hijackstudy.bench ./cmd/hijackstudy
@@ -93,5 +131,29 @@ END {
     printf "  \"study\": {\"scale\": %s, \"wallclock_s\": %s}\n", scale, study_s
     printf "}\n"
 }' "$TXT" > "$JSON"
+
+if [ -n "$REPLAY_SWEEP_DIR" ]; then
+    python3 - "$JSON" "$REPLAY_SWEEP_DIR" <<'EOF'
+import json, sys
+out_path, sweep = sys.argv[1], sys.argv[2]
+doc = json.load(open(out_path))
+modes = {}
+for w in (1, 4):
+    for b in (0, 64):
+        r = json.load(open(f"{sweep}/replay_w{w}_b{b}.json"))
+        rep = r["replay"]
+        assert rep["mismatches"] == 0, rep
+        modes[f"workers{w}_batch{b}"] = {
+            "qps_achieved": round(r["qps_achieved"], 1),
+            "duration_s": round(r["duration_s"], 3),
+            "scored": rep["scored"],
+            "http_requests": rep["http_requests"],
+        }
+doc["serving_replay"] = modes
+json.dump(doc, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+EOF
+    rm -rf "$REPLAY_SWEEP_DIR"
+fi
 
 echo "wrote $TXT and $JSON" >&2
