@@ -9,10 +9,16 @@
 // registry — the same list RunStudy iterates — fans out over a worker
 // pool. Only analyses needing the live account directory are skipped.
 //
+// With -stream the dump is additionally replayed through the incremental
+// streaming path (internal/stream) and the live-relevant analyses are
+// checked for exact equality against the batch registry output — the
+// parity gate that keeps the online and offline pipelines from drifting.
+// A mismatch exits non-zero.
+//
 // Usage:
 //
 //	hijacksim -pop 8000 -days 30 -decoys 100 -events world.ndjson.gz
-//	analyze -events world.ndjson.gz [-skip-corrupt] [-par N] [-decode-shards N]
+//	analyze -events world.ndjson.gz [-skip-corrupt] [-par N] [-decode-shards N] [-stream]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"manualhijack/internal/core"
 	"manualhijack/internal/logstore"
 	"manualhijack/internal/report"
+	"manualhijack/internal/stream"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func main() {
 		"skip malformed, truncated, or out-of-order lines instead of failing; every drop is reported")
 	par := flag.Int("par", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("decode-shards", 0, "parallel NDJSON decode shards (0 = GOMAXPROCS, 1 = sequential)")
+	streaming := flag.Bool("stream", false,
+		"also replay the dump through the incremental streaming analyses and verify they match the batch output exactly")
 	flag.Parse()
 	if *eventsIn == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -events is required")
@@ -101,5 +110,39 @@ func main() {
 		lc.LuresDelivered, lc.CredentialsCaptured, lc.AccountsEntered,
 		lc.AccountsExploited, lc.ClaimsFiled, lc.AccountsRecovered)
 
+	if *streaming {
+		if !runStreamParity(s, r) {
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
 	report.RenderOffline(os.Stdout, r, *eventsIn, skipped)
+}
+
+// runStreamParity replays the sealed store through the streaming bus and
+// compares the incremental results against the batch registry's. It
+// reports whether they match exactly.
+func runStreamParity(s *logstore.Store, r *core.StudyReport) bool {
+	start := time.Now()
+	bus := stream.NewBus(stream.DefaultSuite(core.DefaultIPPlan())...)
+	n := bus.Replay(s)
+	snap := bus.Snapshot()
+	batch := stream.Report{
+		Lifecycle: r.Lifecycle,
+		Fig6:      r.Fig6,
+		Fig8:      r.Fig8,
+		Fig11:     r.Fig11,
+	}
+	if diffs := stream.AnalysisDiff(snap, batch); len(diffs) > 0 {
+		fmt.Printf("streaming parity FAILED: %v differ between the incremental and batch paths\n", diffs)
+		return false
+	}
+	fmt.Printf("streaming parity ok: %d events replayed in %s, incremental == batch for lifecycle, figure-6, figure-8, figure-11\n",
+		n, time.Since(start).Round(time.Millisecond))
+	slc := snap.Lifecycle
+	fmt.Printf("streaming lifecycle: %d lures → %d creds → %d entered → %d exploited → %d claims → %d recovered\n",
+		slc.LuresDelivered, slc.CredentialsCaptured, slc.AccountsEntered,
+		slc.AccountsExploited, slc.ClaimsFiled, slc.AccountsRecovered)
+	return true
 }

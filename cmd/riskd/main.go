@@ -15,6 +15,10 @@
 //	                      amortizes HTTP framing across a whole batch
 //	GET  /v1/healthz      liveness
 //	GET  /v1/statz        request counts, verdict mix, latency percentiles
+//	GET  /v1/streamz      live streaming-analysis snapshot: every scored
+//	                      request feeds the incremental analyses
+//	                      (internal/stream), so the funnel and fanout
+//	                      aggregates update while traffic flows
 //
 // The score/outcome hot path runs on hand-rolled JSON codecs
 // (internal/serve/codec.go) and pooled buffers — no encoding/json and no
@@ -50,6 +54,7 @@ import (
 	"manualhijack/internal/auth"
 	"manualhijack/internal/core"
 	"manualhijack/internal/serve"
+	"manualhijack/internal/stream"
 )
 
 func main() {
@@ -83,6 +88,9 @@ func main() {
 		RequestTimeout: *timeout,
 		BatchTimeout:   *batchTimeout,
 	})
+	// Streaming analyses over the live request feed, served at /v1/streamz.
+	bus := stream.NewBus(stream.DefaultSuite(core.DefaultIPPlan())...)
+	srv.SetStream(bus)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,6 +112,10 @@ func main() {
 		st.Score, st.Outcome, st.Rejected, st.BadRequests,
 		st.Verdicts[serve.VerdictAdmit], st.Verdicts[serve.VerdictChallenge],
 		st.Verdicts[serve.VerdictBlock], st.Latency.P99us)
+	snap := bus.Snapshot()
+	fmt.Fprintf(os.Stderr,
+		"riskd: streaming observed %d events (%d dropped out-of-order)\n",
+		snap.EventsObserved, snap.EventsDropped)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "riskd: shutdown: %v\n", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"manualhijack/internal/datasets"
 	"manualhijack/internal/event"
 	"manualhijack/internal/geo"
+	"manualhijack/internal/identity"
 	"manualhijack/internal/logstore"
 	"manualhijack/internal/stats"
 )
@@ -17,12 +18,54 @@ type Figure11 struct {
 	Cases  int
 }
 
+// DefaultFigure11Cases is the registry's Dataset 13 case count for
+// Figure 11, shared with the streaming suite so both paths draw the same
+// sample.
+const DefaultFigure11Cases = 3000
+
 // ComputeFigure11 reproduces Figure 11 by geolocating one login IP per
-// hijack case.
+// hijack case. It feeds the incremental builder from Dataset 5's login
+// stream — the same records D13HijackIPs filters — so the batch and
+// streaming paths share one implementation.
 func ComputeFigure11(s *logstore.Store, plan *geo.IPPlan, cases int) Figure11 {
+	b := NewFigure11Builder()
+	for _, l := range datasets.D5HijackerLogins(s) {
+		b.Observe(l)
+	}
+	return b.Figure11(plan, cases)
+}
+
+// Figure11Builder is the incremental form of ComputeFigure11. It keeps one
+// login per hijack case — Dataset 13's population, accumulated in log order
+// so the finalizing sample draws exactly what the batch extractor draws.
+// State grows with hijack cases, not with the log.
+type Figure11Builder struct {
+	seen  map[identity.AccountID]bool
+	cases []event.Login
+}
+
+// NewFigure11Builder returns an empty builder.
+func NewFigure11Builder() *Figure11Builder {
+	return &Figure11Builder{seen: map[identity.AccountID]bool{}}
+}
+
+// Observe folds one event into the case list: the first successful
+// hijacker login per account defines the case's IP.
+func (b *Figure11Builder) Observe(e event.Event) {
+	l, ok := e.(event.Login)
+	if !ok || l.Actor != event.ActorHijacker ||
+		l.Outcome != event.LoginSuccess || b.seen[l.Account] {
+		return
+	}
+	b.seen[l.Account] = true
+	b.cases = append(b.cases, l)
+}
+
+// Figure11 snapshots the figure from the cases observed so far, sampling
+// with Dataset 13's deterministic stream and geolocating against plan.
+func (b *Figure11Builder) Figure11(plan *geo.IPPlan, cases int) Figure11 {
 	var c stats.Counter
-	logins := datasets.D13HijackIPs(s, cases)
-	for _, l := range logins {
+	for _, l := range datasets.SampleN(13, b.cases, cases) {
 		c.Add(string(plan.Locate(l.IP)))
 	}
 	return Figure11{Shares: c.Sorted(), Cases: c.Total()}

@@ -61,31 +61,68 @@ type Figure8 struct {
 
 // ComputeFigure8 reproduces Figure 8.
 func ComputeFigure8(s *logstore.Store) Figure8 {
-	type key struct {
-		ip  string
-		day time.Time
-	}
-	attempts := map[key]int{}
-	accounts := map[key]map[identity.AccountID]bool{}
-	totalAttempts, okPasswords, successes := 0, 0, 0
+	b := NewFigure8Builder()
 	for _, l := range datasets.D5HijackerLogins(s) {
-		day := l.When().Truncate(24 * time.Hour)
-		k := key{l.IP.String(), day}
-		attempts[k]++
-		if accounts[k] == nil {
-			accounts[k] = map[identity.AccountID]bool{}
-		}
-		accounts[k][l.Account] = true
-		totalAttempts++
-		if l.PasswordOK {
-			okPasswords++
-		}
-		if l.Outcome == event.LoginSuccess {
-			successes++
-		}
+		b.Observe(l)
 	}
+	return b.Figure8()
+}
+
+// ipDayKey keys the per-IP, per-UTC-day aggregates.
+type ipDayKey struct {
+	ip  string
+	day time.Time
+}
+
+// Figure8Builder is the incremental form of ComputeFigure8: per-IP-day
+// fanout aggregates that grow with distinct IP-days, not with the log. The
+// batch function feeds it from Dataset 5 and the streaming path feeds it
+// one login at a time; both finalize through Figure8, so they cannot drift.
+type Figure8Builder struct {
+	attempts map[ipDayKey]int
+	accounts map[ipDayKey]map[identity.AccountID]bool
+
+	totalAttempts, okPasswords, successes int
+	daySuccess                            map[time.Time]int
+}
+
+// NewFigure8Builder returns an empty builder.
+func NewFigure8Builder() *Figure8Builder {
+	return &Figure8Builder{
+		attempts:   map[ipDayKey]int{},
+		accounts:   map[ipDayKey]map[identity.AccountID]bool{},
+		daySuccess: map[time.Time]int{},
+	}
+}
+
+// Observe folds one event into the aggregates. Non-login and non-hijacker
+// records are ignored, mirroring Dataset 5's filter.
+func (b *Figure8Builder) Observe(e event.Event) {
+	l, ok := e.(event.Login)
+	if !ok || l.Actor != event.ActorHijacker {
+		return
+	}
+	day := l.When().Truncate(24 * time.Hour)
+	k := ipDayKey{l.IP.String(), day}
+	b.attempts[k]++
+	if b.accounts[k] == nil {
+		b.accounts[k] = map[identity.AccountID]bool{}
+	}
+	b.accounts[k][l.Account] = true
+	b.totalAttempts++
+	if l.PasswordOK {
+		b.okPasswords++
+	}
+	if l.Outcome == event.LoginSuccess {
+		b.successes++
+		b.daySuccess[day]++
+	}
+}
+
+// Figure8 snapshots the figure from the aggregates observed so far.
+func (b *Figure8Builder) Figure8() Figure8 {
 	var fig Figure8
-	fig.IPDays = len(attempts)
+	fig.IPDays = len(b.attempts)
 	if fig.IPDays == 0 {
 		return fig
 	}
@@ -93,9 +130,9 @@ func ComputeFigure8(s *logstore.Store) Figure8 {
 	var firstDay, lastDay time.Time
 	dayAttempts := map[time.Time]int{}
 	dayIPs := map[time.Time]int{}
-	for k, n := range attempts {
+	for k, n := range b.attempts {
 		sumAtt += n
-		na := len(accounts[k])
+		na := len(b.accounts[k])
 		sumAcc += na
 		if na > fig.MaxAccountsPerIPDay {
 			fig.MaxAccountsPerIPDay = na
@@ -109,12 +146,6 @@ func ComputeFigure8(s *logstore.Store) Figure8 {
 			lastDay = k.day
 		}
 	}
-	daySuccess := map[time.Time]int{}
-	for _, l := range datasets.D5HijackerLogins(s) {
-		if l.Outcome == event.LoginSuccess {
-			daySuccess[l.When().Truncate(24*time.Hour)]++
-		}
-	}
 	for d := firstDay; !d.After(lastDay); d = d.Add(24 * time.Hour) {
 		ips := dayIPs[d]
 		if ips == 0 {
@@ -123,12 +154,12 @@ func ComputeFigure8(s *logstore.Store) Figure8 {
 			continue
 		}
 		fig.DailyAttempts = append(fig.DailyAttempts, float64(dayAttempts[d])/float64(ips))
-		fig.DailySuccesses = append(fig.DailySuccesses, float64(daySuccess[d])/float64(ips))
+		fig.DailySuccesses = append(fig.DailySuccesses, float64(b.daySuccess[d])/float64(ips))
 	}
 	fig.MeanAttemptsPerIPDay = float64(sumAtt) / float64(fig.IPDays)
 	fig.MeanAccountsPerIPDay = float64(sumAcc) / float64(fig.IPDays)
-	fig.SuccessShare = stats.Ratio(float64(successes), float64(totalAttempts))
-	fig.PasswordOKShare = stats.Ratio(float64(okPasswords), float64(totalAttempts))
+	fig.SuccessShare = stats.Ratio(float64(b.successes), float64(b.totalAttempts))
+	fig.PasswordOKShare = stats.Ratio(float64(b.okPasswords), float64(b.totalAttempts))
 	return fig
 }
 

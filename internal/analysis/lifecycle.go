@@ -56,54 +56,82 @@ func (l Lifecycle) Rates() []stats.Entry {
 
 // ComputeLifecycle tallies Figure 2's cycle from the log.
 func ComputeLifecycle(s *logstore.Store) Lifecycle {
-	var l Lifecycle
-	creds := map[identity.AccountID]bool{}
-	attempted := map[identity.AccountID]bool{}
-	entered := map[identity.AccountID]bool{}
-	exploited := map[identity.AccountID]bool{}
-	locked := map[identity.AccountID]bool{}
-	claimed := map[identity.AccountID]bool{}
-	recovered := map[identity.AccountID]bool{}
+	b := NewLifecycleBuilder()
+	s.Scan(b.Observe)
+	return b.Lifecycle()
+}
 
-	s.Scan(func(e event.Event) {
-		switch ev := e.(type) {
-		case event.LureSent:
-			l.LuresDelivered++
-		case event.PageHit:
-			if ev.Method == "GET" {
-				l.PageVisits++
-			}
-		case event.CredentialPhished:
-			creds[ev.Account] = true
-		case event.Login:
-			if ev.Actor == event.ActorHijacker {
-				attempted[ev.Account] = true
-				if ev.Outcome == event.LoginSuccess {
-					entered[ev.Account] = true
-				}
-			}
-		case event.HijackAssessed:
-			if ev.Exploited {
-				exploited[ev.Account] = true
-			}
-		case event.HijackEnded:
-			if ev.LockedOut {
-				locked[ev.Account] = true
-			}
-		case event.ClaimFiled:
-			claimed[ev.Account] = true
-		case event.ClaimResolved:
-			if ev.Success {
-				recovered[ev.Account] = true
+// LifecycleBuilder is the incremental form of ComputeLifecycle: it consumes
+// events one at a time and can report the funnel at any instant. The batch
+// function is a thin wrapper over it, so the streaming and batch paths
+// cannot drift. Like every builder in this package it is single-goroutine;
+// the stream.Bus serializes concurrent feeds.
+type LifecycleBuilder struct {
+	lures, visits             int
+	creds, attempted, entered map[identity.AccountID]bool
+	exploited, locked         map[identity.AccountID]bool
+	claimed, recovered        map[identity.AccountID]bool
+}
+
+// NewLifecycleBuilder returns an empty builder.
+func NewLifecycleBuilder() *LifecycleBuilder {
+	return &LifecycleBuilder{
+		creds:     map[identity.AccountID]bool{},
+		attempted: map[identity.AccountID]bool{},
+		entered:   map[identity.AccountID]bool{},
+		exploited: map[identity.AccountID]bool{},
+		locked:    map[identity.AccountID]bool{},
+		claimed:   map[identity.AccountID]bool{},
+		recovered: map[identity.AccountID]bool{},
+	}
+}
+
+// Observe folds one event into the funnel.
+func (b *LifecycleBuilder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.LureSent:
+		b.lures++
+	case event.PageHit:
+		if ev.Method == "GET" {
+			b.visits++
+		}
+	case event.CredentialPhished:
+		b.creds[ev.Account] = true
+	case event.Login:
+		if ev.Actor == event.ActorHijacker {
+			b.attempted[ev.Account] = true
+			if ev.Outcome == event.LoginSuccess {
+				b.entered[ev.Account] = true
 			}
 		}
-	})
-	l.CredentialsCaptured = len(creds)
-	l.AccountsAttempted = len(attempted)
-	l.AccountsEntered = len(entered)
-	l.AccountsExploited = len(exploited)
-	l.AccountsLockedOut = len(locked)
-	l.ClaimsFiled = len(claimed)
-	l.AccountsRecovered = len(recovered)
-	return l
+	case event.HijackAssessed:
+		if ev.Exploited {
+			b.exploited[ev.Account] = true
+		}
+	case event.HijackEnded:
+		if ev.LockedOut {
+			b.locked[ev.Account] = true
+		}
+	case event.ClaimFiled:
+		b.claimed[ev.Account] = true
+	case event.ClaimResolved:
+		if ev.Success {
+			b.recovered[ev.Account] = true
+		}
+	}
+}
+
+// Lifecycle snapshots the funnel observed so far.
+func (b *LifecycleBuilder) Lifecycle() Lifecycle {
+	return Lifecycle{
+		LuresDelivered:      b.lures,
+		PageVisits:          b.visits,
+		CredentialsCaptured: len(b.creds),
+		AccountsAttempted:   len(b.attempted),
+		AccountsEntered:     len(b.entered),
+		AccountsExploited:   len(b.exploited),
+		AccountsLockedOut:   len(b.locked),
+		ClaimsFiled:         len(b.claimed),
+		AccountsRecovered:   len(b.recovered),
+	}
 }

@@ -169,9 +169,91 @@ type Figure6 struct {
 	Pages             int
 }
 
-// ComputeFigure6 reproduces Figure 6 from Dataset 3.
+// DefaultFigure6SamplePages is the registry's Dataset 3 sample size for
+// Figure 6, shared with the streaming suite so both paths draw the same
+// page sample.
+const DefaultFigure6SamplePages = 100
+
+// ComputeFigure6 reproduces Figure 6 from Dataset 3. It scans the log
+// through the incremental builder so the batch and streaming paths share
+// one implementation.
 func ComputeFigure6(s *logstore.Store, samplePages int) Figure6 {
-	pages := datasets.D3FormsPages(s, samplePages)
+	b := NewFigure6Builder()
+	s.Scan(b.Observe)
+	return b.Figure6(samplePages)
+}
+
+// figure6Page is one Forms page's live aggregate: the hourly POST series
+// anchored at its first hit, and the count of POSTs landing more than 12
+// hours after that first hit (the outlier signal).
+type figure6Page struct {
+	id        event.PageID
+	takenDown bool
+	first     time.Time
+	series    *stats.TimeSeries
+	late      int
+}
+
+// Figure6Builder is the incremental form of ComputeFigure6. It mirrors
+// Dataset 3's join (Forms pages that were taken down, with their HTTP
+// logs) as per-page aggregates, so state grows with pages, not hits.
+// Events must arrive in time order — the first hit anchors each page's
+// hourly series — which both the sealed log and the stream bus guarantee.
+type Figure6Builder struct {
+	pages map[event.PageID]*figure6Page
+}
+
+// NewFigure6Builder returns an empty builder.
+func NewFigure6Builder() *Figure6Builder {
+	return &Figure6Builder{pages: map[event.PageID]*figure6Page{}}
+}
+
+// Observe folds one event into the per-page aggregates.
+func (b *Figure6Builder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.PageCreated:
+		if ev.OnForms {
+			b.pages[ev.Page] = &figure6Page{id: ev.Page}
+		}
+	case event.PageTakedown:
+		if p, ok := b.pages[ev.Page]; ok {
+			p.takenDown = true
+		}
+	case event.PageHit:
+		p, ok := b.pages[ev.Page]
+		if !ok {
+			return
+		}
+		if p.series == nil {
+			p.first = ev.When()
+			p.series = stats.NewTimeSeries(p.first, time.Hour)
+		}
+		if ev.Method == "POST" {
+			p.series.Observe(ev.When())
+			if ev.When().Sub(p.first) > 12*time.Hour {
+				p.late++
+			}
+		}
+	}
+}
+
+// Figure6 snapshots the figure from the pages observed so far, drawing
+// Dataset 3's deterministic sample over the eligible (taken-down) pages.
+func (b *Figure6Builder) Figure6(samplePages int) Figure6 {
+	var eligible []*figure6Page
+	for _, p := range b.pages {
+		if p.takenDown {
+			eligible = append(eligible, p)
+		}
+	}
+	// Deterministic order before sampling, as D3FormsPages sorts.
+	for i := 1; i < len(eligible); i++ {
+		for j := i; j > 0 && eligible[j].id < eligible[j-1].id; j-- {
+			eligible[j], eligible[j-1] = eligible[j-1], eligible[j]
+		}
+	}
+	pages := datasets.SampleN(3, eligible, samplePages)
+
 	var fig Figure6
 
 	// Identify the outlier: the page with the most submissions arriving
@@ -180,41 +262,27 @@ func ComputeFigure6(s *logstore.Store, samplePages int) Figure6 {
 	// volume (Figure 6, bottom).
 	busiest, busiestLate := -1, 0
 	for i, p := range pages {
-		if len(p.Hits) == 0 {
+		if p.series == nil {
 			continue
 		}
-		first := p.Hits[0].When()
-		late := 0
-		for _, h := range p.Hits {
-			if h.Method == "POST" && h.When().Sub(first) > 12*time.Hour {
-				late++
-			}
-		}
-		if late > busiestLate {
-			busiest, busiestLate = i, late
+		if p.late > busiestLate {
+			busiest, busiestLate = i, p.late
 		}
 	}
 
 	var sums []float64
 	counts := 0
 	for i, p := range pages {
-		if len(p.Hits) == 0 {
+		if p.series == nil {
 			continue
 		}
-		first := p.Hits[0].When()
-		series := stats.NewTimeSeries(first, time.Hour)
-		for _, h := range p.Hits {
-			if h.Method == "POST" {
-				series.Observe(h.When())
-			}
-		}
 		if i == busiest {
-			fig.Outlier = series.Counts()
-			fig.OutlierQuietHours = quietHours(series.Counts())
+			fig.Outlier = p.series.Counts()
+			fig.OutlierQuietHours = quietHours(p.series.Counts())
 			continue
 		}
 		counts++
-		for j, c := range series.Counts() {
+		for j, c := range p.series.Counts() {
 			for len(sums) <= j {
 				sums = append(sums, 0)
 			}

@@ -102,7 +102,7 @@ var registry = []Analysis{
 		r.Fig5 = analysis.ComputeFigure5(in.Log, 100, 25)
 	}},
 	{Name: "figure-6", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig6 = analysis.ComputeFigure6(in.Log, 100)
+		r.Fig6 = analysis.ComputeFigure6(in.Log, analysis.DefaultFigure6SamplePages)
 	}},
 	{Name: "figure-7", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
 		r.Fig7 = analysis.ComputeFigure7(in.Log)
@@ -168,7 +168,7 @@ var registry = []Analysis{
 		r.URLShare = analysis.URLShare(in.Log, 100)
 	}},
 	{Name: "figure-11", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig11 = analysis.ComputeFigure11(in.Log, in.Plan, 3000)
+		r.Fig11 = analysis.ComputeFigure11(in.Log, in.Plan, analysis.DefaultFigure11Cases)
 	}},
 
 	// ---- base rates ----

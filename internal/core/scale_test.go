@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+// TestScaleIntRounds pins the rounding behavior of scaleInt over awkward
+// scales whose float products land just below an integer. Truncation used
+// to drop the unit (3000×0.3 → 899), silently under-populating eras.
+func TestScaleIntRounds(t *testing.T) {
+	cases := []struct {
+		n     int
+		scale float64
+		min   int
+		want  int
+	}{
+		// 0.3 products sit at 899.999…: the original truncation bug.
+		{3000, 0.3, 1, 900},
+		{8000, 0.3, 1, 2400},
+		{200, 0.3, 1, 60},
+		// 0.1 products sit just above the integer; rounding must not
+		// overshoot.
+		{3000, 0.1, 1, 300},
+		{10000, 0.1, 1, 1000},
+		// 0.7 products sit just below the integer again.
+		{8000, 0.7, 1, 5600},
+		{3000, 0.7, 1, 2100},
+		// The floor still applies after rounding.
+		{100, 0.001, 500, 500},
+		{0, 0.3, 1, 1},
+	}
+	for _, c := range cases {
+		if got := scaleInt(c.n, c.scale, c.min); got != c.want {
+			t.Errorf("scaleInt(%d, %v, %d) = %d, want %d",
+				c.n, c.scale, c.min, got, c.want)
+		}
+	}
+}

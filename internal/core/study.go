@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -82,9 +83,12 @@ type StudyReport struct {
 	Events2011, Events2012, Events2013, Events2014 int
 }
 
-// scaleInt scales a count, keeping at least min.
+// scaleInt scales a count, keeping at least min. Rounding (not truncating)
+// keeps float representation error from dropping a unit: 3000×0.3 is
+// 899.9999…, which truncation would turn into 899 and quietly
+// under-populate an era.
 func scaleInt(n int, scale float64, min int) int {
-	v := int(float64(n) * scale)
+	v := int(math.Round(float64(n) * scale))
 	if v < min {
 		v = min
 	}

@@ -287,6 +287,14 @@ func DefaultIPPlan() *geo.IPPlan {
 	return geo.NewIPPlan(4)
 }
 
+// Tap registers fn to observe every event the world logs, at the moment it
+// is appended — the hook the streaming analyses feed from. Call before Run;
+// fn runs synchronously on the simulation goroutine (see logstore.SetTap
+// for the contract).
+func (w *World) Tap(fn func(event.Event)) {
+	w.Log.SetTap(fn)
+}
+
 // End returns the end of the observation window.
 func (w *World) End() time.Time {
 	return w.Cfg.Start.Add(time.Duration(w.Cfg.Days) * 24 * time.Hour)

@@ -24,12 +24,23 @@ func sampleSeed(id int) *randx.Rand {
 	return randx.New(0xD5).Fork("dataset").Fork(string(rune('0' + id)))
 }
 
-// sampleN draws up to n elements without replacement, deterministically.
-func sampleN[T any](id int, items []T, n int) []T {
+// SampleN draws up to n elements without replacement using dataset id's
+// deterministic sampling stream. It is exported so incremental analyses
+// (internal/analysis builders fed by the streaming bus) can reproduce the
+// exact sample — including its order — that the batch extractors draw,
+// which is what makes streaming-vs-batch reports DeepEqual. items is never
+// mutated, but when len(items) <= n it is returned as-is: treat the result
+// as read-only.
+func SampleN[T any](id int, items []T, n int) []T {
 	if len(items) <= n {
 		return items
 	}
 	return randx.Sample(sampleSeed(id), items, n)
+}
+
+// sampleN is the package-internal spelling of SampleN.
+func sampleN[T any](id int, items []T, n int) []T {
+	return SampleN(id, items, n)
 }
 
 // D1PhishingEmails returns the curated phishing-email sample (Dataset 1):

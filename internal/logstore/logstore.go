@@ -58,6 +58,10 @@ type Store struct {
 	// time-order check costs one When() call per record instead of
 	// re-extracting the predecessor's.
 	last time.Time
+	// tap, when set, observes every accepted append synchronously on the
+	// writer goroutine. Build-phase state like events: it is never touched
+	// after Seal, because sealed stores reject appends.
+	tap func(event.Event)
 
 	// sealed is the phase switch: Seal's release-store publishes events
 	// and byKind to readers that load-acquire it.
@@ -101,6 +105,23 @@ func (s *Store) Append(e event.Event) {
 	}
 	s.last = when
 	s.events = append(s.events, e)
+	if s.tap != nil {
+		s.tap(e)
+	}
+}
+
+// SetTap registers fn to observe every subsequent Append, synchronously on
+// the writer goroutine, after the record is stored — the live feed for the
+// streaming analyses. The tap rides the build phase and does not alter the
+// two-phase contract: it sees exactly the records that pass Append's order
+// and seal checks, and never fires after Seal (sealed stores reject
+// appends). A nil fn removes the tap. Setting a non-nil tap on a sealed
+// store panics, since nothing could ever fire it.
+func (s *Store) SetTap(fn func(event.Event)) {
+	if fn != nil && s.sealed.Load() {
+		panic("logstore: SetTap on sealed store")
+	}
+	s.tap = fn
 }
 
 // Seal freezes the store, builds the kind index, and publishes both to

@@ -128,14 +128,48 @@ type FanoutSource interface {
 // distinct accounts per address. Like the Analyzer it is confined to a
 // single goroutine; callers that share one across goroutines must wrap it
 // in their own lock.
+//
+// The fanout signal only ever reads one UTC day of history, so when the
+// clock crosses into a new day the tracker evicts entries older than the
+// fanout window. That bounds memory by the addresses active over the last
+// two days rather than every address ever seen — the difference between a
+// long-running riskd process holding steady and leaking linearly with
+// distinct client IPs. Eviction keeps a one-day grace window (entries are
+// dropped only once they are strictly older than the window) so serving
+// lanes that straggle across a day boundary still find their day's entry;
+// evicting the moment the day changes would erase history an
+// out-of-order-by-seconds request is about to read, which the replay
+// parity tests catch.
 type IPFanoutTracker struct {
 	ips map[netip.Addr]*ipHistory
+	// sweepDay is the newest day a sweep has run for; sweeps only move it
+	// forward.
+	sweepDay time.Time
 }
 
 // NewIPFanoutTracker returns an empty tracker.
 func NewIPFanoutTracker() *IPFanoutTracker {
 	return &IPFanoutTracker{ips: make(map[netip.Addr]*ipHistory)}
 }
+
+// sweep evicts entries more than one day older than the current day, once
+// per day change. Amortized cost: one map pass per UTC day, not per call.
+func (t *IPFanoutTracker) sweep(day time.Time) {
+	if !day.After(t.sweepDay) {
+		return
+	}
+	cutoff := day.Add(-24 * time.Hour)
+	for ip, ih := range t.ips {
+		if ih.day.Before(cutoff) {
+			delete(t.ips, ip)
+		}
+	}
+	t.sweepDay = day
+}
+
+// Tracked returns the number of addresses currently held, for bounded-
+// growth tests and serving metrics.
+func (t *IPFanoutTracker) Tracked() int { return len(t.ips) }
 
 // Fanout implements FanoutSource.
 func (t *IPFanoutTracker) Fanout(ip netip.Addr, acct identity.AccountID, at time.Time) float64 {
@@ -153,6 +187,7 @@ func (t *IPFanoutTracker) Fanout(ip netip.Addr, acct identity.AccountID, at time
 // RecordSuccess implements FanoutSource.
 func (t *IPFanoutTracker) RecordSuccess(ip netip.Addr, acct identity.AccountID, at time.Time) {
 	day := dayOf(at)
+	t.sweep(day)
 	ih := t.ips[ip]
 	if ih == nil || !ih.day.Equal(day) {
 		ih = &ipHistory{day: day, accounts: make(map[identity.AccountID]bool)}

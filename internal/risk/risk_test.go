@@ -137,3 +137,33 @@ func TestAblationZeroWeight(t *testing.T) {
 		t.Fatalf("ablated signal still contributes: %v", got)
 	}
 }
+
+func TestIPFanoutTrackerBoundedGrowth(t *testing.T) {
+	plan := geo.NewIPPlan(4)
+	r := randx.New(7)
+	tr := NewIPFanoutTracker()
+	// Ten days of traffic, 200 distinct IPs per day: an unpruned tracker
+	// would hold all 2000, a pruned one at most two days' worth (the
+	// current day plus the grace window for boundary stragglers).
+	const perDay = 200
+	for day := 0; day < 10; day++ {
+		at := t0.Add(time.Duration(day) * 24 * time.Hour)
+		for i := 0; i < perDay; i++ {
+			ip := plan.Addr(r, geo.US)
+			tr.RecordSuccess(ip, identity.AccountID(i), at)
+		}
+		if n := tr.Tracked(); n > 2*perDay {
+			t.Fatalf("day %d: tracker holds %d IPs, want <= %d (stale days must be evicted)",
+				day, n, 2*perDay)
+		}
+	}
+	// The signal still works for today's IPs after the sweeps.
+	at := t0.Add(9 * 24 * time.Hour)
+	ip := plan.Addr(r, geo.US)
+	for i := 0; i < 5; i++ {
+		tr.RecordSuccess(ip, identity.AccountID(1000+i), at)
+	}
+	if f := tr.Fanout(ip, 9999, at); f == 0 {
+		t.Fatal("fanout signal lost after eviction sweeps")
+	}
+}

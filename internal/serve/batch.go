@@ -198,6 +198,7 @@ func (s *Server) serveBatchLine(out []byte, line []byte) []byte {
 			p = &pr
 		}
 		d := s.pipe.Score(att, p)
+		s.publishScore(att, d)
 		resp := ScoreResponse{
 			Score:           d.Score,
 			Signals:         d.Signals,

@@ -2,15 +2,19 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"manualhijack/internal/challenge"
+	"manualhijack/internal/event"
 	"manualhijack/internal/risk"
+	"manualhijack/internal/stream"
 )
 
 // Pipeline is the decision interface the HTTP layer serves. Engine is the
@@ -99,6 +103,13 @@ type Server struct {
 	metrics *Metrics
 	sem     chan struct{}
 	mux     *http.ServeMux
+	// retryAfter is the precomputed Retry-After value for 429 responses,
+	// derived from QueueWait: a client that already waited the full queue
+	// window should back off at least that long before retrying.
+	retryAfter string
+	// stream, when set, receives a synthesized login record per scored
+	// request and serves live snapshots at /v1/streamz.
+	stream *stream.Bus
 }
 
 // NewServer wires the HTTP layer around a pipeline.
@@ -113,11 +124,12 @@ func NewServer(pipe Pipeline, cfg ServerConfig) *Server {
 		cfg.BatchTimeout = DefaultBatchTimeout
 	}
 	s := &Server{
-		pipe:    pipe,
-		cfg:     cfg,
-		metrics: NewMetrics(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		mux:     http.NewServeMux(),
+		pipe:       pipe,
+		cfg:        cfg,
+		metrics:    NewMetrics(),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		mux:        http.NewServeMux(),
+		retryAfter: retryAfterHint(cfg.QueueWait),
 	}
 	// Backpressure sits outside the timeout handler so shed requests cost
 	// one channel operation, not a goroutine. A batch occupies one slot —
@@ -136,6 +148,53 @@ func NewServer(pipe Pipeline, cfg ServerConfig) *Server {
 
 // Metrics exposes the serving counters (read-only snapshots via Snapshot).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// SetStream attaches a streaming analysis bus: every scored request (single
+// and batch) is synthesized into an event.Login and published, and GET
+// /v1/streamz serves live analysis snapshots next to /v1/statz. Call before
+// serving; the bus itself serializes concurrent request lanes.
+func (s *Server) SetStream(bus *stream.Bus) {
+	s.stream = bus
+	s.mux.HandleFunc("GET /v1/streamz", s.handleStreamz)
+}
+
+func (s *Server) handleStreamz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.stream.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
+}
+
+// publishScore synthesizes the login record a simulated world would have
+// logged for this decision and offers it to the stream bus. Actor is left
+// empty — ground truth is unknown at serving time — so the actor-filtered
+// analyses (Figures 8 and 11) stay quiet on a pure serving feed and the
+// funnel tracks the observable stages; replayed dumps carry real actors.
+// Out-of-order arrivals across concurrent lanes are dropped and counted by
+// the bus, which live snapshots surface as events_dropped.
+func (s *Server) publishScore(att risk.Attempt, d Decision) {
+	if s.stream == nil {
+		return
+	}
+	outcome := event.LoginSuccess
+	switch {
+	case d.Verdict == VerdictBlock:
+		outcome = event.LoginBlocked
+	case d.Challenge != nil && !d.Challenge.Passed:
+		outcome = event.LoginChallengeFailed
+	case !att.PasswordOK:
+		outcome = event.LoginWrongPassword
+	}
+	s.stream.Publish(event.Login{
+		Base:       event.Base{Time: att.At},
+		Account:    att.Account,
+		IP:         att.IP,
+		DeviceID:   att.DeviceID,
+		PasswordOK: att.PasswordOK,
+		Outcome:    outcome,
+		Challenged: d.Verdict == VerdictChallenge,
+		RiskScore:  d.Score,
+	})
+}
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -172,9 +231,20 @@ func (s *Server) withBackpressure(next http.Handler) http.Handler {
 	})
 }
 
+// retryAfterHint derives the 429 Retry-After header from the configured
+// queue wait, rounding up to whole seconds with a floor of 1 (the header's
+// granularity; an instant-shed server still wants clients to pause).
+func retryAfterHint(queueWait time.Duration) string {
+	secs := int64((queueWait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func (s *Server) reject(w http.ResponseWriter) {
 	s.metrics.rejected.Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", s.retryAfter)
 	http.Error(w, "overloaded: bounded queue full", http.StatusTooManyRequests)
 }
 
@@ -208,6 +278,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		p = &pr
 	}
 	d := s.pipe.Score(att, p)
+	s.publishScore(att, d)
 	resp := ScoreResponse{
 		Score:           d.Score,
 		Signals:         d.Signals,

@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want string
+	}{
+		{0, "1"},
+		{50 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{4500 * time.Millisecond, "5"},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.wait); got != c.want {
+			t.Errorf("retryAfterHint(%v) = %q, want %q", c.wait, got, c.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +16,7 @@ import (
 	"manualhijack/internal/randx"
 	"manualhijack/internal/risk"
 	"manualhijack/internal/serve"
+	"manualhijack/internal/stream"
 )
 
 func newTestServer(t *testing.T, shards int) (*serve.Client, *serve.Engine) {
@@ -170,8 +172,9 @@ func TestBackpressure429(t *testing.T) {
 	if r.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-limit request: status %d, want 429", r.StatusCode)
 	}
-	if r.Header.Get("Retry-After") == "" {
-		t.Error("429 missing Retry-After header")
+	// QueueWait is zero (strict shedding), so the hint floors at 1s.
+	if got := r.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("429 Retry-After = %q, want %q", got, "1")
 	}
 
 	close(g.release)
@@ -182,6 +185,51 @@ func TestBackpressure429(t *testing.T) {
 	}
 	if got := srv.Metrics().Snapshot().Rejected; got != 1 {
 		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestBackpressureRetryAfterFromQueueWait pins the 429 Retry-After hint to
+// the configured queue wait (rounded up to whole seconds), not a hardcoded
+// 1: a client that already waited the full queue window should back off at
+// least that long.
+func TestBackpressureRetryAfterFromQueueWait(t *testing.T) {
+	g := &gatedPipeline{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	srv := serve.NewServer(g, serve.ServerConfig{
+		MaxInFlight: 1,
+		QueueWait:   1100 * time.Millisecond, // ceils to 2s
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &serve.Client{Base: ts.URL}
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Score(validScoreReq())
+		errs <- err
+	}()
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached the pipeline")
+	}
+
+	// The over-limit arrival waits out QueueWait, then sheds with the
+	// derived hint.
+	r, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(scoreBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request: status %d, want 429", r.StatusCode)
+	}
+	if got := r.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("429 Retry-After = %q, want %q (ceil of 1.1s queue wait)", got, "2")
+	}
+
+	close(g.release)
+	if err := <-errs; err != nil {
+		t.Fatalf("gated request failed after release: %v", err)
 	}
 }
 
@@ -250,5 +298,80 @@ func TestGracefulDrain(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not return after drain")
+	}
+}
+
+// TestStreamzServesLiveSnapshots attaches a streaming bus to the server and
+// checks that /v1/streamz reflects scored requests as they happen: accepted
+// events count up, and an out-of-order arrival is dropped rather than fed
+// to the time-windowed analyses.
+func TestStreamzServesLiveSnapshots(t *testing.T) {
+	const seed, pop = 7, 64
+	dir, plan, _ := testWorld(seed, pop, 0)
+	cfg := serve.DefaultConfig(seed)
+	cfg.Shards = 2
+	e := serve.New(dir, plan, cfg)
+	e.Prime()
+	srv := serve.NewServer(e, serve.ServerConfig{})
+	srv.SetStream(stream.NewBus(stream.DefaultSuite(plan)...))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &serve.Client{Base: ts.URL}
+
+	at := time.Date(2012, 11, 2, 9, 0, 0, 0, time.UTC)
+	rng := randx.New(99).Fork("serve/test/streamz")
+	for i := 0; i < 5; i++ {
+		acct := dir.Get(identity.AccountID(i + 1))
+		req := serve.ScoreRequest{
+			Account:    acct.ID,
+			IP:         plan.Addr(rng, acct.HomeCountry).String(),
+			DeviceID:   identity.DeviceFingerprint(acct.ID),
+			At:         at.Add(time.Duration(i) * time.Minute),
+			PasswordOK: true,
+		}
+		if _, err := c.Score(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	streamz := func() stream.Report {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/v1/streamz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/streamz status %d, want 200", r.StatusCode)
+		}
+		var snap stream.Report
+		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+			t.Fatalf("decode streamz: %v", err)
+		}
+		return snap
+	}
+
+	snap := streamz()
+	if snap.EventsObserved != 5 || snap.EventsDropped != 0 {
+		t.Fatalf("streamz after 5 scores: observed=%d dropped=%d, want 5/0",
+			snap.EventsObserved, snap.EventsDropped)
+	}
+
+	// A request timestamped before the high-water mark is scored normally
+	// but dropped by the bus.
+	acct := dir.Get(1)
+	stale := serve.ScoreRequest{
+		Account:    acct.ID,
+		IP:         plan.Addr(rng, acct.HomeCountry).String(),
+		At:         at.Add(-time.Hour),
+		PasswordOK: true,
+	}
+	if _, err := c.Score(stale); err != nil {
+		t.Fatal(err)
+	}
+	snap = streamz()
+	if snap.EventsObserved != 5 || snap.EventsDropped != 1 {
+		t.Fatalf("streamz after stale score: observed=%d dropped=%d, want 5/1",
+			snap.EventsObserved, snap.EventsDropped)
 	}
 }
