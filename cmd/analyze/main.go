@@ -15,10 +15,19 @@
 // parity gate that keeps the online and offline pipelines from drifting.
 // A mismatch exits non-zero.
 //
+// -events also accepts a segment directory (the layout `hijacksim
+// -spill-dir` produces): it is opened as a virtual store that pages
+// segments through a small cache (-cache-segments) instead of decoding
+// the whole log, so analysis RAM is bounded by the segment size. With
+// -spill-dir a *monolithic* dump is first re-segmented into that
+// directory and then analyzed the same bounded way — the one-time path
+// from an existing big dump to bounded-RAM analysis.
+//
 // Usage:
 //
 //	hijacksim -pop 8000 -days 30 -decoys 100 -events world.ndjson.gz
 //	analyze -events world.ndjson.gz [-skip-corrupt] [-par N] [-decode-shards N] [-stream]
+//	        [-cache-segments N] [-spill-dir d [-segment-records N] [-segment-gzip]]
 package main
 
 import (
@@ -41,17 +50,37 @@ func main() {
 	shards := flag.Int("decode-shards", 0, "parallel NDJSON decode shards (0 = GOMAXPROCS, 1 = sequential)")
 	streaming := flag.Bool("stream", false,
 		"also replay the dump through the incremental streaming analyses and verify they match the batch output exactly")
+	cacheSegments := flag.Int("cache-segments", 0,
+		"decoded segments kept in RAM when reading a segment directory (0 = logstore default)")
+	spillDir := flag.String("spill-dir", "",
+		"re-segment a monolithic dump into this directory first, then analyze the segments with bounded RAM")
+	segRecords := flag.Int("segment-records", 0, "records per segment when re-segmenting (0 = logstore default)")
+	segGzip := flag.Bool("segment-gzip", false, "gzip segment files when re-segmenting")
 	flag.Parse()
 	if *eventsIn == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -events is required")
 		os.Exit(2)
 	}
 
+	opts := logstore.ReadOptions{
+		SkipCorrupt:   *skipCorrupt,
+		Shards:        *shards,
+		CacheSegments: *cacheSegments,
+	}
 	start := time.Now()
-	s, st, err := logstore.ReadNDJSONFile(*eventsIn, logstore.ReadOptions{
-		SkipCorrupt: *skipCorrupt,
-		Shards:      *shards,
-	})
+	var s *logstore.Store
+	var st *logstore.ReadStats
+	var err error
+	if *spillDir != "" {
+		s, st, err = logstore.ResegmentNDJSONFile(*eventsIn, logstore.SpillConfig{
+			Dir:            *spillDir,
+			SegmentRecords: *segRecords,
+			CacheSegments:  *cacheSegments,
+			Compress:       *segGzip,
+		}, opts)
+	} else {
+		s, st, err = logstore.ReadNDJSONFile(*eventsIn, opts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 		if !*skipCorrupt {
@@ -59,8 +88,13 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("loaded %d records from %s in %s (sealed, kind-indexed)\n",
-		st.Records, *eventsIn, time.Since(start).Round(time.Millisecond))
+	if st.Segments > 0 {
+		fmt.Printf("loaded %d records from %s in %s (%d segment(s), cache-bounded reads)\n",
+			st.Records, *eventsIn, time.Since(start).Round(time.Millisecond), st.Segments)
+	} else {
+		fmt.Printf("loaded %d records from %s in %s (sealed, kind-indexed)\n",
+			st.Records, *eventsIn, time.Since(start).Round(time.Millisecond))
+	}
 	if st.Legacy {
 		fmt.Println("note: headerless legacy dump — observation window estimated from record timestamps")
 	}
@@ -75,6 +109,10 @@ func main() {
 	}
 	if st.Truncated {
 		fmt.Println("warning: input ended mid-stream; analyzed the intact prefix")
+	}
+	if st.SegmentsDropped > 0 {
+		fmt.Printf("warning: dropped %d corrupt segment(s) whole — time-windowed aggregates cover the surviving segments only\n",
+			st.SegmentsDropped)
 	}
 	fmt.Println()
 

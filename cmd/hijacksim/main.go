@@ -6,7 +6,13 @@
 // Usage:
 //
 //	hijacksim [-seed N] [-pop N] [-days N] [-decoys N] [-events file.ndjson]
+//	          [-spill-dir d] [-segment-records N] [-segment-bytes N] [-segment-gzip]
 //	          [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// -spill-dir builds the log as spill-to-disk segments: peak RAM is
+// bounded by the segment size instead of the world size, and the segment
+// directory itself is the dump — `analyze -events <dir>` opens it as a
+// virtual store, no separate -events pass needed.
 //
 // The profiling flags capture pprof CPU/heap profiles and a runtime trace
 // of the whole run for `go tool pprof` / `go tool trace` — the world
@@ -32,6 +38,11 @@ func main() {
 	days := flag.Int("days", 30, "window length in days")
 	decoys := flag.Int("decoys", 0, "decoy accounts to inject")
 	eventsOut := flag.String("events", "", "write the event log as NDJSON to this file (a .gz suffix gzip-compresses)")
+	spillDir := flag.String("spill-dir", "",
+		"build the log as spill-to-disk segments in this directory (bounded RAM; the directory is the dump)")
+	segRecords := flag.Int("segment-records", 0, "records per spilled segment (0 = logstore default)")
+	segBytes := flag.Int64("segment-bytes", 0, "additionally seal segments at this encoded byte size (0 = off)")
+	segGzip := flag.Bool("segment-gzip", false, "gzip spilled segment files")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -49,6 +60,14 @@ func main() {
 	cfg.PopulationN = *pop
 	cfg.Days = *days
 	cfg.DecoyN = *decoys
+	if *spillDir != "" {
+		cfg.Spill = logstore.SpillConfig{
+			Dir:            *spillDir,
+			SegmentRecords: *segRecords,
+			SegmentBytes:   *segBytes,
+			Compress:       *segGzip,
+		}
+	}
 
 	w := core.NewWorld(cfg)
 	if *decoys > 0 {
@@ -81,6 +100,10 @@ func main() {
 		[]string{"crew", "cc", "processed", "in", "exploited", "abandoned", "locked", "2sv"},
 		crewRows)
 
+	if *spillDir != "" {
+		fmt.Printf("\nspilled %d segment(s) to %s (analyze -events %s reads them directly)\n",
+			w.Log.SegmentCount(), *spillDir, *spillDir)
+	}
 	if *eventsOut != "" {
 		// WriteNDJSONFile checks the file's Close error: a full disk or
 		// write-behind failure must not report a truncated dump as success.

@@ -5,14 +5,25 @@
 //
 // Usage:
 //
-//	hijackstudy [-seed N] [-scale F] [-par N] [-cpuprofile f] [-memprofile f] [-trace f]
+//	hijackstudy [-seed N] [-scale F] [-par N] [-spill-dir d]
+//	            [-segment-records N] [-segment-bytes N] [-segment-gzip]
+//	            [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -scale shrinks populations and phishing volume for quick runs (0.2 runs
 // in well under a minute; 1.0 is the full study). -par bounds the study
 // engine's worker pool (0 = GOMAXPROCS, 1 = sequential); the report is
-// byte-identical for a fixed seed at any setting. The profiling flags
-// capture pprof CPU/heap profiles and a runtime trace of the whole run
-// (study + report rendering) for `go tool pprof` / `go tool trace`.
+// byte-identical for a fixed seed at any setting.
+//
+// -spill-dir runs every era world with a spill-to-disk segmented log (one
+// subdirectory per era) so peak RSS is bounded by the segment size
+// instead of the world size; the analyses run as a map-reduce over the
+// segment files and the report stays byte-identical to the monolithic
+// run. The footer reports the process's peak RSS either way, so the two
+// modes are directly comparable.
+//
+// The profiling flags capture pprof CPU/heap profiles and a runtime trace
+// of the whole run (study + report rendering) for `go tool pprof` /
+// `go tool trace`.
 package main
 
 import (
@@ -31,6 +42,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 1.0, "study scale in (0,1]")
 	par := flag.Int("par", 0, "study parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	spillDir := flag.String("spill-dir", "",
+		"run every era world with a spill-to-disk segmented log under this directory (bounded RAM, identical report)")
+	segRecords := flag.Int("segment-records", 0, "records per spilled segment (0 = logstore default)")
+	segBytes := flag.Int64("segment-bytes", 0, "additionally seal segments at this encoded byte size (0 = off)")
+	segGzip := flag.Bool("segment-gzip", false, "gzip spilled segment files")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -54,6 +70,10 @@ func main() {
 	sc := core.DefaultStudyConfig(*seed)
 	sc.Scale = *scale
 	sc.Parallelism = *par
+	sc.SpillDir = *spillDir
+	sc.SegmentRecords = *segRecords
+	sc.SegmentBytes = *segBytes
+	sc.SpillGzip = *segGzip
 
 	start := time.Now()
 	r := core.RunStudy(sc)
@@ -66,6 +86,14 @@ func main() {
 	if effPar == 0 {
 		effPar = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("\nstudy completed in %s (seed=%d scale=%.2f parallelism=%d)\n",
-		time.Since(start).Round(time.Millisecond), *seed, *scale, effPar)
+	mode := "monolithic"
+	if *spillDir != "" {
+		mode = "spill"
+	}
+	fmt.Printf("\nstudy completed in %s (seed=%d scale=%.2f parallelism=%d log=%s)\n",
+		time.Since(start).Round(time.Millisecond), *seed, *scale, effPar, mode)
+	if rss := profiling.PeakRSS(); rss > 0 {
+		// Machine-parseable: scripts/bench.sh records this figure.
+		fmt.Printf("peak-rss-mib: %d\n", rss/(1<<20))
+	}
 }

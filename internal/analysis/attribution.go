@@ -78,10 +78,36 @@ type Figure12 struct {
 	Phones int
 }
 
-// ComputeFigure12 reproduces Figure 12 by parsing phone country codes.
+// ComputeFigure12 reproduces Figure 12 by parsing phone country codes. It
+// scans the log through the incremental builder so the batch and segmented
+// paths share one implementation.
 func ComputeFigure12(s *logstore.Store, n int) Figure12 {
+	b := NewFigure12Builder()
+	s.Scan(b.Observe)
+	return b.Figure12(n)
+}
+
+// Figure12Builder is the incremental form of ComputeFigure12: it
+// accumulates Dataset 14's population (hijacker 2SV enrollments, in log
+// order) and draws the dataset's deterministic sample at snapshot time.
+type Figure12Builder struct {
+	enrolls []event.TwoSVEnrolled
+}
+
+// NewFigure12Builder returns an empty builder.
+func NewFigure12Builder() *Figure12Builder { return &Figure12Builder{} }
+
+// Observe folds one event into the Dataset 14 population.
+func (b *Figure12Builder) Observe(e event.Event) {
+	if ev, ok := e.(event.TwoSVEnrolled); ok && ev.Actor == event.ActorHijacker {
+		b.enrolls = append(b.enrolls, ev)
+	}
+}
+
+// Figure12 snapshots the figure from the enrollments observed so far.
+func (b *Figure12Builder) Figure12(n int) Figure12 {
 	var c stats.Counter
-	for _, e := range datasets.D14HijackerPhones(s, n) {
+	for _, e := range datasets.SampleN(14, b.enrolls, n) {
 		c.Add(string(geo.PhoneCountry(e.Phone)))
 	}
 	return Figure12{Shares: c.Sorted(), Phones: c.Total()}
@@ -101,22 +127,55 @@ type BaseRates struct {
 }
 
 // ComputeBaseRates reproduces §3's rates. activeAccounts is the number of
-// accounts active in the window (the paper's 30-day definition).
+// accounts active in the window (the paper's 30-day definition). It scans
+// the log through the incremental builder so the batch and segmented paths
+// share one implementation.
 func ComputeBaseRates(s *logstore.Store, start, end time.Time, activeAccounts int) BaseRates {
-	hijacked := map[int32]bool{}
-	for _, h := range logstore.Select[event.HijackStarted](s) {
-		hijacked[int32(h.Account)] = true
+	b := NewBaseRatesBuilder(start)
+	s.Scan(b.Observe)
+	return b.BaseRates(start, end, activeAccounts)
+}
+
+// BaseRatesBuilder is the incremental form of ComputeBaseRates: the
+// distinct-victim set and the weekly detection series, anchored at the
+// window start.
+type BaseRatesBuilder struct {
+	hijacked map[int32]bool
+	weekly   *stats.TimeSeries
+}
+
+// NewBaseRatesBuilder returns an empty builder for a window starting at
+// start.
+func NewBaseRatesBuilder(start time.Time) *BaseRatesBuilder {
+	return &BaseRatesBuilder{
+		hijacked: map[int32]bool{},
+		weekly:   stats.NewTimeSeries(start, 7*24*time.Hour),
 	}
+}
+
+// Observe folds one event into the rate aggregates.
+func (b *BaseRatesBuilder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.HijackStarted:
+		b.hijacked[int32(ev.Account)] = true
+	case event.PageDetected:
+		b.weekly.Observe(ev.When())
+	}
+}
+
+// BaseRates snapshots the rates observed so far; activeAccounts comes from
+// the directory, not the log.
+func (b *BaseRatesBuilder) BaseRates(start, end time.Time, activeAccounts int) BaseRates {
 	days := end.Sub(start).Hours() / 24
 	out := BaseRates{
-		Hijacks:        len(hijacked),
+		Hijacks:        len(b.hijacked),
 		ActiveAccounts: activeAccounts,
 		Days:           days,
-		PagesPerWeek:   SafeBrowsingWeekly(s, start),
+		PagesPerWeek:   b.weekly.Counts(),
 	}
 	if activeAccounts > 0 && days > 0 {
 		out.HijacksPerMillionActivePerDay =
-			float64(len(hijacked)) / (float64(activeAccounts) / 1e6) / days
+			float64(len(b.hijacked)) / (float64(activeAccounts) / 1e6) / days
 	}
 	return out
 }

@@ -27,55 +27,78 @@ type DetectionEval struct {
 }
 
 // EvaluateBehaviorDetector replays the log through a detector with the
-// given configuration.
+// given configuration. It scans the log through the incremental builder so
+// the batch and segmented paths share one implementation.
 func EvaluateBehaviorDetector(s *logstore.Store, cfg behavior.Config) DetectionEval {
-	det := behavior.NewDetector(cfg)
-	sessionActor := map[event.SessionID]event.Actor{}
+	b := NewBehaviorEvalBuilder(cfg)
+	s.Scan(b.Observe)
+	return b.DetectionEval()
+}
 
+// BehaviorEvalBuilder is the incremental form of EvaluateBehaviorDetector:
+// a live detector fed session actions one event at a time. Events must
+// arrive in time order — the detector's session state machines depend on
+// it — which both the sealed log and the segmented scan guarantee.
+type BehaviorEvalBuilder struct {
+	det          *behavior.Detector
+	sessionActor map[event.SessionID]event.Actor
+}
+
+// NewBehaviorEvalBuilder returns a builder around a fresh detector.
+func NewBehaviorEvalBuilder(cfg behavior.Config) *BehaviorEvalBuilder {
+	return &BehaviorEvalBuilder{
+		det:          behavior.NewDetector(cfg),
+		sessionActor: map[event.SessionID]event.Actor{},
+	}
+}
+
+// Observe feeds one event to the detector.
+func (b *BehaviorEvalBuilder) Observe(e event.Event) {
 	observe := func(sess event.SessionID, a behavior.Action) {
 		if sess != 0 {
-			det.Observe(sess, a)
+			b.det.Observe(sess, a)
 		}
 	}
-	s.Scan(func(e event.Event) {
-		switch ev := e.(type) {
-		case event.Login:
-			if ev.Outcome == event.LoginSuccess {
-				det.Begin(ev.Session, ev.When())
-				sessionActor[ev.Session] = ev.Actor
-			}
-		case event.Search:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionSearch, Query: ev.Query, At: ev.When()})
-		case event.FolderOpened:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionFolderOpen, Folder: ev.Folder, At: ev.When()})
-		case event.ContactsViewed:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionContactsView, At: ev.When()})
-		case event.FilterCreated:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionFilterCreate, ForwardOut: ev.ForwardTo != "", At: ev.When()})
-		case event.ReplyToSet:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionReplyToSet, At: ev.When()})
-		case event.MessageSent:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionSend, Recipients: len(ev.Recipients), At: ev.When()})
-		case event.MassDeletion:
-			observe(ev.Session, behavior.Action{Type: behavior.ActionMassDelete, At: ev.When()})
+	switch ev := e.(type) {
+	case event.Login:
+		if ev.Outcome == event.LoginSuccess {
+			b.det.Begin(ev.Session, ev.When())
+			b.sessionActor[ev.Session] = ev.Actor
 		}
-	})
+	case event.Search:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionSearch, Query: ev.Query, At: ev.When()})
+	case event.FolderOpened:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionFolderOpen, Folder: ev.Folder, At: ev.When()})
+	case event.ContactsViewed:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionContactsView, At: ev.When()})
+	case event.FilterCreated:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionFilterCreate, ForwardOut: ev.ForwardTo != "", At: ev.When()})
+	case event.ReplyToSet:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionReplyToSet, At: ev.When()})
+	case event.MessageSent:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionSend, Recipients: len(ev.Recipients), At: ev.When()})
+	case event.MassDeletion:
+		observe(ev.Session, behavior.Action{Type: behavior.ActionMassDelete, At: ev.When()})
+	}
+}
 
+// DetectionEval scores the sessions observed so far against ground truth.
+func (b *BehaviorEvalBuilder) DetectionEval() DetectionEval {
 	var out DetectionEval
 	var exposure time.Duration
-	for sess, actor := range sessionActor {
+	for sess, actor := range b.sessionActor {
 		hijack := actor == event.ActorHijacker
 		if hijack {
 			out.HijackSessions++
 		} else {
 			out.OrganicSessions++
 		}
-		if _, flagged := det.FlaggedAt(sess); !flagged {
+		if _, flagged := b.det.FlaggedAt(sess); !flagged {
 			continue
 		}
 		if hijack {
 			out.TruePositives++
-			if exp, ok := det.ExposureTime(sess); ok {
+			if exp, ok := b.det.ExposureTime(sess); ok {
 				exposure += exp
 			}
 		} else {
@@ -106,46 +129,73 @@ type RiskOperatingPoint struct {
 	OwnerAttempts    int
 }
 
-// SweepRiskThreshold evaluates the thresholds over the logged scores.
+// SweepRiskThreshold evaluates the thresholds over the logged scores. It
+// scans the log through the incremental builder so the batch and segmented
+// paths share one implementation — a login's contribution to every
+// operating point is decided the moment it is seen, so the sweep never
+// materializes the login log.
 func SweepRiskThreshold(s *logstore.Store, thresholds []float64) []RiskOperatingPoint {
-	type obs struct {
-		score   float64
-		hijack  bool
-		success bool
+	b := NewRiskSweepBuilder(thresholds)
+	s.Scan(b.Observe)
+	return b.Sweep()
+}
+
+// RiskSweepBuilder is the incremental form of SweepRiskThreshold:
+// per-threshold challenge counters updated per login.
+type RiskSweepBuilder struct {
+	thresholds    []float64
+	hijackCaught  []int
+	ownerChal     []int
+	hijackSuccess int
+	owner         int
+}
+
+// NewRiskSweepBuilder returns an empty builder for the given thresholds.
+func NewRiskSweepBuilder(thresholds []float64) *RiskSweepBuilder {
+	return &RiskSweepBuilder{
+		thresholds:   append([]float64(nil), thresholds...),
+		hijackCaught: make([]int, len(thresholds)),
+		ownerChal:    make([]int, len(thresholds)),
 	}
-	var all []obs
-	for _, l := range logstore.Select[event.Login](s) {
-		all = append(all, obs{
-			score:   l.RiskScore,
-			hijack:  l.Actor == event.ActorHijacker,
-			success: l.Outcome == event.LoginSuccess,
-		})
+}
+
+// Observe folds one event into every operating point's counters.
+func (b *RiskSweepBuilder) Observe(e event.Event) {
+	l, ok := e.(event.Login)
+	if !ok {
+		return
 	}
-	out := make([]RiskOperatingPoint, 0, len(thresholds))
-	for _, t := range thresholds {
-		var pt RiskOperatingPoint
-		pt.Threshold = t
-		var hijackSuccess, hijackCaught, owner, ownerChal int
-		for _, o := range all {
-			if o.hijack {
-				if o.success {
-					hijackSuccess++
-					if o.score >= t {
-						hijackCaught++
-					}
-				}
-			} else {
-				owner++
-				if o.score >= t {
-					ownerChal++
-				}
+	if l.Actor == event.ActorHijacker {
+		if l.Outcome != event.LoginSuccess {
+			return
+		}
+		b.hijackSuccess++
+		for i, t := range b.thresholds {
+			if l.RiskScore >= t {
+				b.hijackCaught[i]++
 			}
 		}
-		pt.HijackerAttempts = hijackSuccess
-		pt.OwnerAttempts = owner
-		pt.HijackerCaught = stats.Ratio(float64(hijackCaught), float64(hijackSuccess))
-		pt.OwnerChallenged = stats.Ratio(float64(ownerChal), float64(owner))
-		out = append(out, pt)
+	} else {
+		b.owner++
+		for i, t := range b.thresholds {
+			if l.RiskScore >= t {
+				b.ownerChal[i]++
+			}
+		}
+	}
+}
+
+// Sweep snapshots the operating points observed so far.
+func (b *RiskSweepBuilder) Sweep() []RiskOperatingPoint {
+	out := make([]RiskOperatingPoint, 0, len(b.thresholds))
+	for i, t := range b.thresholds {
+		out = append(out, RiskOperatingPoint{
+			Threshold:        t,
+			HijackerAttempts: b.hijackSuccess,
+			OwnerAttempts:    b.owner,
+			HijackerCaught:   stats.Ratio(float64(b.hijackCaught[i]), float64(b.hijackSuccess)),
+			OwnerChallenged:  stats.Ratio(float64(b.ownerChal[i]), float64(b.owner)),
+		})
 	}
 	return out
 }

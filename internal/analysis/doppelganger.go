@@ -38,52 +38,77 @@ type DoppelgangerEval struct {
 }
 
 // EvaluateDoppelgangerDetector scans redirection settings in the log and
-// flags those within threshold similarity of the account's address.
+// flags those within threshold similarity of the account's address. It
+// scans the log through the incremental builder so the batch and segmented
+// paths share one implementation.
 func EvaluateDoppelgangerDetector(s *logstore.Store, dir *identity.Directory, threshold float64) DoppelgangerEval {
-	var out DoppelgangerEval
-	var hijackSim, ownerSim stats.Sample
+	b := NewDoppelgangerBuilder(dir, threshold)
+	s.Scan(b.Observe)
+	return b.DoppelgangerEval()
+}
 
-	consider := func(acct identity.AccountID, addr identity.Address, kind string, actor event.Actor) {
-		if addr == "" {
-			return
-		}
-		a := dir.Get(acct)
-		if a == nil {
-			return
-		}
-		sim := strsim.Similarity(string(a.Addr), string(addr))
-		hijacker := actor == event.ActorHijacker
-		if hijacker {
-			out.HijackerSettings++
-			hijackSim.Add(sim)
-		} else {
-			ownerSim.Add(sim)
-		}
-		if sim < threshold {
-			return
-		}
-		out.Findings = append(out.Findings, DoppelgangerFinding{
-			Account: acct, Addr: addr, Similarity: sim, Kind: kind, Hijacker: hijacker,
-		})
-		if hijacker {
-			out.TruePositives++
-		} else {
-			out.FalsePositives++
-		}
+// DoppelgangerBuilder is the incremental form of
+// EvaluateDoppelgangerDetector: similarity is scored and classified the
+// moment a redirection setting is seen.
+type DoppelgangerBuilder struct {
+	dir       *identity.Directory
+	threshold float64
+
+	out                 DoppelgangerEval
+	hijackSim, ownerSim stats.Sample
+}
+
+// NewDoppelgangerBuilder returns a builder scoring against dir at the
+// given similarity threshold.
+func NewDoppelgangerBuilder(dir *identity.Directory, threshold float64) *DoppelgangerBuilder {
+	return &DoppelgangerBuilder{dir: dir, threshold: threshold}
+}
+
+// Observe folds one event into the evaluation.
+func (b *DoppelgangerBuilder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.ReplyToSet:
+		b.consider(ev.Account, ev.Addr, "replyto", ev.Actor)
+	case event.FilterCreated:
+		b.consider(ev.Account, ev.ForwardTo, "filter", ev.Actor)
 	}
+}
 
-	s.Scan(func(e event.Event) {
-		switch ev := e.(type) {
-		case event.ReplyToSet:
-			consider(ev.Account, ev.Addr, "replyto", ev.Actor)
-		case event.FilterCreated:
-			consider(ev.Account, ev.ForwardTo, "filter", ev.Actor)
-		}
+func (b *DoppelgangerBuilder) consider(acct identity.AccountID, addr identity.Address, kind string, actor event.Actor) {
+	if addr == "" {
+		return
+	}
+	a := b.dir.Get(acct)
+	if a == nil {
+		return
+	}
+	sim := strsim.Similarity(string(a.Addr), string(addr))
+	hijacker := actor == event.ActorHijacker
+	if hijacker {
+		b.out.HijackerSettings++
+		b.hijackSim.Add(sim)
+	} else {
+		b.ownerSim.Add(sim)
+	}
+	if sim < b.threshold {
+		return
+	}
+	b.out.Findings = append(b.out.Findings, DoppelgangerFinding{
+		Account: acct, Addr: addr, Similarity: sim, Kind: kind, Hijacker: hijacker,
 	})
+	if hijacker {
+		b.out.TruePositives++
+	} else {
+		b.out.FalsePositives++
+	}
+}
 
+// DoppelgangerEval scores the settings observed so far.
+func (b *DoppelgangerBuilder) DoppelgangerEval() DoppelgangerEval {
+	out := b.out
 	out.Precision = stats.Ratio(float64(out.TruePositives), float64(out.TruePositives+out.FalsePositives))
 	out.Recall = stats.Ratio(float64(out.TruePositives), float64(out.HijackerSettings))
-	out.MeanHijackerSim = hijackSim.Mean()
-	out.MeanOwnerSim = ownerSim.Mean()
+	out.MeanHijackerSim = b.hijackSim.Mean()
+	out.MeanOwnerSim = b.ownerSim.Mean()
 	return out
 }

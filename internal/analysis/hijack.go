@@ -22,9 +22,67 @@ type Figure7 struct {
 	Delays        *stats.Sample // hours
 }
 
-// ComputeFigure7 reproduces Figure 7.
+// ComputeFigure7 reproduces Figure 7. It scans the log through the
+// incremental builder so the batch and segmented paths share one
+// implementation.
 func ComputeFigure7(s *logstore.Store) Figure7 {
-	accesses := datasets.D4DecoyAccesses(s)
+	b := NewFigure7Builder()
+	s.Scan(b.Observe)
+	return b.Figure7()
+}
+
+// decoyLogin is the slice of a hijacker login the Dataset 4 join needs.
+type decoyLogin struct {
+	account identity.AccountID
+	at      time.Time
+}
+
+// Figure7Builder is the incremental form of ComputeFigure7. It accumulates
+// Dataset 4's two populations — decoy submissions and hijacker logins — and
+// replays D4DecoyAccesses' join at snapshot time, so state grows with the
+// attack (decoys + hijacker logins), not with the log.
+type Figure7Builder struct {
+	submitted map[identity.AccountID]int // account → index in accesses
+	accesses  []datasets.DecoyAccess
+	logins    []decoyLogin
+}
+
+// NewFigure7Builder returns an empty builder.
+func NewFigure7Builder() *Figure7Builder {
+	return &Figure7Builder{submitted: map[identity.AccountID]int{}}
+}
+
+// Observe folds one event into the Dataset 4 populations.
+func (b *Figure7Builder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.CredentialPhished:
+		if !ev.Decoy {
+			return
+		}
+		if _, dup := b.submitted[ev.Account]; dup {
+			return
+		}
+		b.submitted[ev.Account] = len(b.accesses)
+		b.accesses = append(b.accesses, datasets.DecoyAccess{
+			Account: ev.Account, SubmittedAt: ev.When()})
+	case event.Login:
+		if ev.Actor == event.ActorHijacker {
+			b.logins = append(b.logins, decoyLogin{ev.Account, ev.When()})
+		}
+	}
+}
+
+// Figure7 snapshots the figure from the populations observed so far.
+func (b *Figure7Builder) Figure7() Figure7 {
+	accesses := append([]datasets.DecoyAccess(nil), b.accesses...)
+	for _, l := range b.logins {
+		idx, ok := b.submitted[l.account]
+		if !ok || accesses[idx].Accessed || l.at.Before(accesses[idx].SubmittedAt) {
+			continue
+		}
+		accesses[idx].AccessedAt = l.at
+		accesses[idx].Accessed = true
+	}
 	fig := Figure7{Submitted: len(accesses), Delays: &stats.Sample{}}
 	for _, a := range accesses {
 		if !a.Accessed {
@@ -175,12 +233,35 @@ type Table3 struct {
 	HasChinese bool
 }
 
-// ComputeTable3 reproduces Table 3.
+// ComputeTable3 reproduces Table 3. It scans the log through the
+// incremental builder so the batch and segmented paths share one
+// implementation.
 func ComputeTable3(s *logstore.Store) Table3 {
-	var c stats.Counter
-	for _, q := range datasets.D6SearchKeywords(s) {
-		c.Add(q.Query)
+	b := NewTable3Builder()
+	s.Scan(b.Observe)
+	return b.Table3()
+}
+
+// Table3Builder is the incremental form of ComputeTable3: a counter over
+// hijacker search terms, classified at snapshot time.
+type Table3Builder struct {
+	terms stats.Counter
+}
+
+// NewTable3Builder returns an empty builder.
+func NewTable3Builder() *Table3Builder { return &Table3Builder{} }
+
+// Observe folds one event into the term counts, mirroring Dataset 6's
+// hijacker-search filter.
+func (b *Table3Builder) Observe(e event.Event) {
+	if q, ok := e.(event.Search); ok && q.Actor == event.ActorHijacker {
+		b.terms.Add(q.Query)
 	}
+}
+
+// Table3 snapshots the table from the terms observed so far.
+func (b *Table3Builder) Table3() Table3 {
+	c := &b.terms
 	t := Table3{Terms: c.Sorted(), N: c.Total()}
 	finance := map[string]bool{}
 	for _, k := range mail.FinanceKeywords {
@@ -221,18 +302,81 @@ type Assessment struct {
 }
 
 // ComputeAssessment reproduces the §5.2 measurements from the hijack
-// lifecycle events and the per-session folder opens.
+// lifecycle events and the per-session folder opens. It scans the log
+// through the incremental builder so the batch and segmented paths share
+// one implementation.
 func ComputeAssessment(s *logstore.Store, sampleSize int) Assessment {
-	accounts := datasets.D7HijackedAccounts(s, sampleSize)
+	b := NewAssessmentBuilder()
+	s.Scan(b.Observe)
+	return b.Assessment(sampleSize)
+}
+
+// d7Cases accumulates Dataset 7's population incrementally: distinct
+// hijacked accounts in first-HijackStarted order, which is exactly the
+// order D7HijackedAccounts builds before sampling — so a snapshot sample
+// equals the batch extractor's sample.
+type d7Cases struct {
+	seen map[identity.AccountID]bool
+	ids  []identity.AccountID
+}
+
+func (d *d7Cases) observe(e event.Event) {
+	h, ok := e.(event.HijackStarted)
+	if !ok || d.seen[h.Account] {
+		return
+	}
+	if d.seen == nil {
+		d.seen = map[identity.AccountID]bool{}
+	}
+	d.seen[h.Account] = true
+	d.ids = append(d.ids, h.Account)
+}
+
+// sample draws Dataset 7's deterministic sample as a membership set.
+func (d *d7Cases) sample(n int) map[identity.AccountID]bool {
 	inSet := map[identity.AccountID]bool{}
-	for _, a := range accounts {
+	for _, a := range datasets.SampleN(7, d.ids, n) {
 		inSet[a] = true
 	}
+	return inSet
+}
+
+// AssessmentBuilder is the incremental form of ComputeAssessment. The
+// Dataset 7 sample is only drawable once the full case population is
+// known, so the builder buffers the hijack-scale event subsequences the
+// analysis joins against — assessments and hijacker folder opens — and
+// replays the batch aggregation at snapshot time. State grows with the
+// attack, not with the log.
+type AssessmentBuilder struct {
+	cases    d7Cases
+	assessed []event.HijackAssessed
+	opens    []event.FolderOpened
+}
+
+// NewAssessmentBuilder returns an empty builder.
+func NewAssessmentBuilder() *AssessmentBuilder { return &AssessmentBuilder{} }
+
+// Observe folds one event into the buffered populations.
+func (b *AssessmentBuilder) Observe(e event.Event) {
+	b.cases.observe(e)
+	switch ev := e.(type) {
+	case event.HijackAssessed:
+		b.assessed = append(b.assessed, ev)
+	case event.FolderOpened:
+		if ev.Actor == event.ActorHijacker {
+			b.opens = append(b.opens, ev)
+		}
+	}
+}
+
+// Assessment snapshots the §5.2 measurements observed so far.
+func (b *AssessmentBuilder) Assessment(sampleSize int) Assessment {
+	inSet := b.cases.sample(sampleSize)
 
 	var durations stats.Sample
 	exploited := 0
 	cases := 0
-	for _, a := range logstore.Select[event.HijackAssessed](s) {
+	for _, a := range b.assessed {
 		if !inSet[a.Account] {
 			continue
 		}
@@ -244,8 +388,8 @@ func ComputeAssessment(s *logstore.Store, sampleSize int) Assessment {
 	}
 	// Folder-open rates across hijack cases.
 	opened := map[event.Folder]map[identity.AccountID]bool{}
-	for _, f := range logstore.Select[event.FolderOpened](s) {
-		if f.Actor != event.ActorHijacker || !inSet[f.Account] {
+	for _, f := range b.opens {
+		if !inSet[f.Account] {
 			continue
 		}
 		if opened[f.Folder] == nil {
@@ -440,9 +584,35 @@ type ContactRisk struct {
 // simulated population of tens of thousands the pools would otherwise
 // contaminate the control cohort.
 func ComputeContactRisk(s *logstore.Store, dir *identity.Directory, cutoff time.Time, recruit, window time.Duration, n int) ContactRisk {
+	b := NewContactRiskBuilder()
+	s.Scan(b.Observe)
+	return b.ContactRisk(dir, cutoff, recruit, window, n)
+}
+
+// ContactRiskBuilder is the incremental form of ComputeContactRisk. The
+// experiment needs the hijack timeline on both sides of the cutoff, so
+// the builder buffers the HijackStarted subsequence (hijack-scale) and
+// runs the cohort construction at snapshot time.
+type ContactRiskBuilder struct {
+	starts []event.HijackStarted
+}
+
+// NewContactRiskBuilder returns an empty builder.
+func NewContactRiskBuilder() *ContactRiskBuilder { return &ContactRiskBuilder{} }
+
+// Observe folds one event into the hijack timeline.
+func (b *ContactRiskBuilder) Observe(e event.Event) {
+	if h, ok := e.(event.HijackStarted); ok {
+		b.starts = append(b.starts, h)
+	}
+}
+
+// ContactRisk snapshots the cohort experiment from the hijacks observed so
+// far.
+func (b *ContactRiskBuilder) ContactRisk(dir *identity.Directory, cutoff time.Time, recruit, window time.Duration, n int) ContactRisk {
 	hijackedPre := map[identity.AccountID]bool{}
 	recentVictims := map[identity.AccountID]bool{}
-	for _, h := range logstore.Select[event.HijackStarted](s) {
+	for _, h := range b.starts {
 		if !h.When().Before(cutoff) {
 			continue
 		}
@@ -482,7 +652,7 @@ func ComputeContactRisk(s *logstore.Store, dir *identity.Directory, cutoff time.
 	random := randx.Sample(randx.New(0xD9).Fork("random"), randomList, n)
 
 	hijackedAfter := map[identity.AccountID]bool{}
-	for _, h := range logstore.Select[event.HijackStarted](s) {
+	for _, h := range b.starts {
 		if h.When().After(cutoff) && h.When().Sub(cutoff) <= window {
 			hijackedAfter[h.Account] = true
 		}
@@ -527,58 +697,100 @@ type Retention struct {
 // "clearly indicate" manual hijacking — victims who noticed, i.e., whose
 // accounts were actually worked, not assessed-and-abandoned.
 func ComputeRetention(s *logstore.Store, sampleSize int) Retention {
-	exploited := map[identity.AccountID]bool{}
-	for _, h := range logstore.Select[event.HijackAssessed](s) {
-		if h.Exploited {
-			exploited[h.Account] = true
+	b := NewRetentionBuilder()
+	s.Scan(b.Observe)
+	return b.Retention(sampleSize)
+}
+
+// RetentionBuilder is the incremental form of ComputeRetention. Every
+// measurement is a per-account membership or count, so the builder tracks
+// hijacker tactics for all hijacked accounts as it goes and intersects
+// with the Dataset 7 sample at snapshot time. State grows with hijacked
+// accounts, not with the log.
+type RetentionBuilder struct {
+	cases     d7Cases
+	exploited map[identity.AccountID]bool
+	lockouts  map[identity.AccountID]bool
+	filters   map[identity.AccountID]bool
+	replyTos  map[identity.AccountID]bool
+	deletes   map[identity.AccountID]bool
+	recovs    map[identity.AccountID]bool
+	twoSV     map[identity.AccountID]int
+}
+
+// NewRetentionBuilder returns an empty builder.
+func NewRetentionBuilder() *RetentionBuilder {
+	return &RetentionBuilder{
+		exploited: map[identity.AccountID]bool{},
+		lockouts:  map[identity.AccountID]bool{},
+		filters:   map[identity.AccountID]bool{},
+		replyTos:  map[identity.AccountID]bool{},
+		deletes:   map[identity.AccountID]bool{},
+		recovs:    map[identity.AccountID]bool{},
+		twoSV:     map[identity.AccountID]int{},
+	}
+}
+
+// Observe folds one event into the per-account tactic state.
+func (b *RetentionBuilder) Observe(e event.Event) {
+	b.cases.observe(e)
+	switch ev := e.(type) {
+	case event.HijackAssessed:
+		if ev.Exploited {
+			b.exploited[ev.Account] = true
+		}
+	case event.PasswordChanged:
+		if ev.Actor == event.ActorHijacker {
+			b.lockouts[ev.Account] = true
+		}
+	case event.FilterCreated:
+		if ev.Actor == event.ActorHijacker {
+			b.filters[ev.Account] = true
+		}
+	case event.ReplyToSet:
+		if ev.Actor == event.ActorHijacker {
+			b.replyTos[ev.Account] = true
+		}
+	case event.MassDeletion:
+		if ev.Actor == event.ActorHijacker {
+			b.deletes[ev.Account] = true
+		}
+	case event.RecoveryChanged:
+		if ev.Actor == event.ActorHijacker {
+			b.recovs[ev.Account] = true
+		}
+	case event.TwoSVEnrolled:
+		if ev.Actor == event.ActorHijacker {
+			b.twoSV[ev.Account]++
 		}
 	}
+}
+
+// Retention snapshots the §5.4 measurements observed so far.
+func (b *RetentionBuilder) Retention(sampleSize int) Retention {
+	sampled := b.cases.sample(sampleSize)
 	inSet := map[identity.AccountID]bool{}
-	var accounts []identity.AccountID
-	for _, a := range datasets.D7HijackedAccounts(s, sampleSize) {
-		if exploited[a] {
+	cases := 0
+	for _, a := range b.cases.ids {
+		if sampled[a] && b.exploited[a] {
 			inSet[a] = true
-			accounts = append(accounts, a)
+			cases++
 		}
 	}
-	has := func(kinds ...event.Kind) map[identity.AccountID]bool {
+	restrict := func(tactic map[identity.AccountID]bool) map[identity.AccountID]bool {
 		out := map[identity.AccountID]bool{}
-		s.Scan(func(e event.Event) {
-			for _, k := range kinds {
-				if e.EventKind() != k {
-					continue
-				}
-				switch ev := e.(type) {
-				case event.PasswordChanged:
-					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
-						out[ev.Account] = true
-					}
-				case event.FilterCreated:
-					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
-						out[ev.Account] = true
-					}
-				case event.ReplyToSet:
-					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
-						out[ev.Account] = true
-					}
-				case event.MassDeletion:
-					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
-						out[ev.Account] = true
-					}
-				case event.RecoveryChanged:
-					if ev.Actor == event.ActorHijacker && inSet[ev.Account] {
-						out[ev.Account] = true
-					}
-				}
+		for a := range tactic {
+			if inSet[a] {
+				out[a] = true
 			}
-		})
+		}
 		return out
 	}
-	lockouts := has(event.KindPasswordChanged)
-	filters := has(event.KindFilterCreated)
-	replyTos := has(event.KindReplyToSet)
-	deletes := has(event.KindMassDeletion)
-	recChanges := has(event.KindRecoveryChanged)
+	lockouts := restrict(b.lockouts)
+	filters := restrict(b.filters)
+	replyTos := restrict(b.replyTos)
+	deletes := restrict(b.deletes)
+	recChanges := restrict(b.recovs)
 
 	deleteAndLock, recAndLock := 0, 0
 	for a := range lockouts {
@@ -590,12 +802,11 @@ func ComputeRetention(s *logstore.Store, sampleSize int) Retention {
 		}
 	}
 	twoSV := 0
-	for _, e := range logstore.Select[event.TwoSVEnrolled](s) {
-		if e.Actor == event.ActorHijacker && inSet[e.Account] {
-			twoSV++
+	for a, n := range b.twoSV {
+		if inSet[a] {
+			twoSV += n
 		}
 	}
-	cases := len(accounts)
 	return Retention{
 		Cases:                      cases,
 		LockoutShare:               stats.Ratio(float64(len(lockouts)), float64(cases)),

@@ -26,39 +26,63 @@ type Monetization struct {
 	MeanPayment      float64
 }
 
-// ComputeMonetization tallies the scam funnel from the log.
+// ComputeMonetization tallies the scam funnel from the log. It scans the
+// log through the incremental builder so the batch and segmented paths
+// share one implementation.
 func ComputeMonetization(s *logstore.Store) Monetization {
-	var out Monetization
-	var routes stats.Counter
-	for _, m := range logstore.Select[event.MessageSent](s) {
-		if m.Actor == event.ActorHijacker && m.Class == event.ClassScam {
-			out.PleaRecipients += len(m.Recipients)
-		}
-	}
-	for _, r := range logstore.Select[event.ScamReply](s) {
-		out.Replies++
-		routes.Add(r.Via)
-		if r.ReachedHijacker {
-			out.ReachedCrew++
-		}
-	}
-	var payments stats.Sample
-	for _, p := range logstore.Select[event.MoneyWired](s) {
-		out.Payments++
-		out.Revenue += p.Amount
-		payments.Add(p.Amount)
-	}
-	out.ReplyRoutes = routes.Sorted()
-	out.MeanPayment = payments.Mean()
+	b := NewMonetizationBuilder()
+	s.Scan(b.Observe)
+	return b.Monetization()
+}
 
-	exploited := map[int32]bool{}
-	for _, h := range logstore.Select[event.HijackAssessed](s) {
-		if h.Exploited {
-			exploited[int32(h.Account)] = true
+// MonetizationBuilder is the incremental form of ComputeMonetization:
+// funnel counters, the payment distribution, and the exploited-victim set.
+// Payments arrive in log order — the order the batch loop adds them — so
+// the floating-point revenue sum is reproduced exactly.
+type MonetizationBuilder struct {
+	out       Monetization
+	routes    stats.Counter
+	payments  stats.Sample
+	exploited map[int32]bool
+}
+
+// NewMonetizationBuilder returns an empty builder.
+func NewMonetizationBuilder() *MonetizationBuilder {
+	return &MonetizationBuilder{exploited: map[int32]bool{}}
+}
+
+// Observe folds one event into the funnel.
+func (b *MonetizationBuilder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.MessageSent:
+		if ev.Actor == event.ActorHijacker && ev.Class == event.ClassScam {
+			b.out.PleaRecipients += len(ev.Recipients)
+		}
+	case event.ScamReply:
+		b.out.Replies++
+		b.routes.Add(ev.Via)
+		if ev.ReachedHijacker {
+			b.out.ReachedCrew++
+		}
+	case event.MoneyWired:
+		b.out.Payments++
+		b.out.Revenue += ev.Amount
+		b.payments.Add(ev.Amount)
+	case event.HijackAssessed:
+		if ev.Exploited {
+			b.exploited[int32(ev.Account)] = true
 		}
 	}
-	if len(exploited) > 0 {
-		out.RevenuePerHijack = out.Revenue / float64(len(exploited))
+}
+
+// Monetization snapshots the funnel observed so far.
+func (b *MonetizationBuilder) Monetization() Monetization {
+	out := b.out
+	out.ReplyRoutes = b.routes.Sorted()
+	out.MeanPayment = b.payments.Mean()
+	out.RevenuePerHijack = 0
+	if len(b.exploited) > 0 {
+		out.RevenuePerHijack = out.Revenue / float64(len(b.exploited))
 	}
 	return out
 }

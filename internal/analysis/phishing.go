@@ -23,10 +23,68 @@ type Table2 struct {
 	PageN       int
 }
 
-// ComputeTable2 reproduces Table 2 from Datasets 1 and 2.
+// ComputeTable2 reproduces Table 2 from Datasets 1 and 2. It scans the
+// log through the incremental builder so the batch and segmented paths
+// share one implementation.
 func ComputeTable2(s *logstore.Store, sampleSize int) Table2 {
-	emails := datasets.D1PhishingEmails(s, sampleSize)
-	pages := datasets.D2PhishingPages(s, sampleSize)
+	b := NewPhishSampleBuilder()
+	s.Scan(b.Observe)
+	return b.Table2(sampleSize)
+}
+
+// URLShare returns the fraction of curated phishing emails carrying a URL
+// (§4.1: 62 of 100).
+func URLShare(s *logstore.Store, sampleSize int) float64 {
+	b := NewPhishSampleBuilder()
+	s.Scan(b.Observe)
+	return b.URLShare(sampleSize)
+}
+
+// PhishSampleBuilder accumulates Datasets 1 and 2 incrementally: the
+// curated reported-lure stream and the detected-page join. A page is
+// always created before its lures, hits, and detection (the simulation
+// emits them causally), so the single pass reproduces the batch
+// extractors' two-pass joins exactly.
+type PhishSampleBuilder struct {
+	targeted map[event.PageID]bool
+	reported []event.LureSent
+	created  map[event.PageID]event.PageCreated
+	detected []event.PageCreated
+}
+
+// NewPhishSampleBuilder returns an empty builder.
+func NewPhishSampleBuilder() *PhishSampleBuilder {
+	return &PhishSampleBuilder{
+		targeted: map[event.PageID]bool{},
+		created:  map[event.PageID]event.PageCreated{},
+	}
+}
+
+// Observe folds one event into the Dataset 1/2 populations.
+func (b *PhishSampleBuilder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.PageCreated:
+		if ev.Targeted {
+			b.targeted[ev.Page] = true
+		} else {
+			b.created[ev.Page] = ev
+		}
+	case event.LureSent:
+		if ev.Reported && !b.targeted[ev.Page] {
+			b.reported = append(b.reported, ev)
+		}
+	case event.PageDetected:
+		if c, ok := b.created[ev.Page]; ok {
+			b.detected = append(b.detected, c)
+		}
+	}
+}
+
+// Table2 snapshots Table 2 from the populations observed so far, drawing
+// the same deterministic samples the batch extractors draw.
+func (b *PhishSampleBuilder) Table2(sampleSize int) Table2 {
+	emails := datasets.SampleN(1, b.reported, sampleSize)
+	pages := datasets.SampleN(2, b.detected, sampleSize)
 
 	var ec, pc stats.Counter
 	for _, e := range emails {
@@ -49,10 +107,9 @@ func ComputeTable2(s *logstore.Store, sampleSize int) Table2 {
 	return t
 }
 
-// URLShare returns the fraction of curated phishing emails carrying a URL
-// (§4.1: 62 of 100).
-func URLShare(s *logstore.Store, sampleSize int) float64 {
-	emails := datasets.D1PhishingEmails(s, sampleSize)
+// URLShare snapshots the Dataset 1 URL share observed so far.
+func (b *PhishSampleBuilder) URLShare(sampleSize int) float64 {
+	emails := datasets.SampleN(1, b.reported, sampleSize)
 	withURL := 0
 	for _, e := range emails {
 		if e.HasURL {
@@ -71,21 +128,107 @@ type Figure3 struct {
 
 // ComputeFigure3 reproduces Figure 3 from Dataset 3's HTTP logs.
 func ComputeFigure3(s *logstore.Store, samplePages int) Figure3 {
-	pages := datasets.D3FormsPages(s, samplePages)
+	b := NewFigure3Builder()
+	s.Scan(b.Observe)
+	return b.Figure3(samplePages)
+}
+
+// d3Pages tracks Dataset 3's join incrementally: one aggregate of type T
+// per Forms-created page, takedown eligibility, and the dataset's
+// deterministic page sample. The per-page aggregates replace Dataset 3's
+// materialized HTTP logs, so builder state grows with pages, not hits —
+// the shape that lets these figures run as a merge of per-segment maps.
+type d3Pages[T any] struct {
+	pages map[event.PageID]*d3Page[T]
+}
+
+type d3Page[T any] struct {
+	id        event.PageID
+	takenDown bool
+	agg       T
+}
+
+func newD3Pages[T any]() *d3Pages[T] {
+	return &d3Pages[T]{pages: map[event.PageID]*d3Page[T]{}}
+}
+
+// observe routes page lifecycle events. For a PageHit on a tracked page it
+// returns the page's aggregate for the caller to update; ok is false
+// otherwise.
+func (d *d3Pages[T]) observe(e event.Event) (agg *d3Page[T], hit event.PageHit, ok bool) {
+	switch ev := e.(type) {
+	case event.PageCreated:
+		if ev.OnForms {
+			d.pages[ev.Page] = &d3Page[T]{id: ev.Page}
+		}
+	case event.PageTakedown:
+		if p, tracked := d.pages[ev.Page]; tracked {
+			p.takenDown = true
+		}
+	case event.PageHit:
+		if p, tracked := d.pages[ev.Page]; tracked {
+			return p, ev, true
+		}
+	}
+	return nil, event.PageHit{}, false
+}
+
+// sample draws Dataset 3's deterministic sample over the eligible
+// (taken-down) pages observed so far, in the same id order D3FormsPages
+// sorts into.
+func (d *d3Pages[T]) sample(n int) []*d3Page[T] {
+	var eligible []*d3Page[T]
+	for _, p := range d.pages {
+		if p.takenDown {
+			eligible = append(eligible, p)
+		}
+	}
+	for i := 1; i < len(eligible); i++ {
+		for j := i; j > 0 && eligible[j].id < eligible[j-1].id; j-- {
+			eligible[j], eligible[j-1] = eligible[j-1], eligible[j]
+		}
+	}
+	return datasets.SampleN(3, eligible, n)
+}
+
+// fig3Agg is one page's referrer profile.
+type fig3Agg struct {
+	blank, total int
+	nonBlank     stats.Counter
+}
+
+// Figure3Builder is the incremental form of ComputeFigure3.
+type Figure3Builder struct {
+	pages *d3Pages[fig3Agg]
+}
+
+// NewFigure3Builder returns an empty builder.
+func NewFigure3Builder() *Figure3Builder {
+	return &Figure3Builder{pages: newD3Pages[fig3Agg]()}
+}
+
+// Observe folds one event into the per-page referrer counts.
+func (b *Figure3Builder) Observe(e event.Event) {
+	p, h, ok := b.pages.observe(e)
+	if !ok || h.Method != "GET" {
+		return
+	}
+	p.agg.total++
+	if h.Referrer == "" {
+		p.agg.blank++
+	} else {
+		p.agg.nonBlank.Add(h.Referrer)
+	}
+}
+
+// Figure3 snapshots the figure over the sampled pages observed so far.
+func (b *Figure3Builder) Figure3(samplePages int) Figure3 {
 	var blank, total int
 	var nonBlank stats.Counter
-	for _, p := range pages {
-		for _, h := range p.Hits {
-			if h.Method != "GET" {
-				continue
-			}
-			total++
-			if h.Referrer == "" {
-				blank++
-			} else {
-				nonBlank.Add(h.Referrer)
-			}
-		}
+	for _, p := range b.pages.sample(samplePages) {
+		blank += p.agg.blank
+		total += p.agg.total
+		nonBlank.Merge(&p.agg.nonBlank)
 	}
 	return Figure3{
 		BlankShare: stats.Ratio(float64(blank), float64(total)),
@@ -103,17 +246,38 @@ type Figure4 struct {
 
 // ComputeFigure4 reproduces Figure 4 from Dataset 3's POST payloads.
 func ComputeFigure4(s *logstore.Store, samplePages int) Figure4 {
-	pages := datasets.D3FormsPages(s, samplePages)
+	b := NewFigure4Builder()
+	s.Scan(b.Observe)
+	return b.Figure4(samplePages)
+}
+
+// Figure4Builder is the incremental form of ComputeFigure4: a TLD counter
+// per page, merged over the page sample at snapshot time.
+type Figure4Builder struct {
+	pages *d3Pages[stats.Counter]
+}
+
+// NewFigure4Builder returns an empty builder.
+func NewFigure4Builder() *Figure4Builder {
+	return &Figure4Builder{pages: newD3Pages[stats.Counter]()}
+}
+
+// Observe folds one event into the per-page TLD counts.
+func (b *Figure4Builder) Observe(e event.Event) {
+	p, h, ok := b.pages.observe(e)
+	if !ok || h.Method != "POST" || h.Victim == "" {
+		return
+	}
+	if tld := identity.TLD(h.Victim); tld != "" {
+		p.agg.Add(tld)
+	}
+}
+
+// Figure4 snapshots the figure over the sampled pages observed so far.
+func (b *Figure4Builder) Figure4(samplePages int) Figure4 {
 	var c stats.Counter
-	for _, p := range pages {
-		for _, h := range p.Hits {
-			if h.Method != "POST" || h.Victim == "" {
-				continue
-			}
-			if tld := identity.TLD(h.Victim); tld != "" {
-				c.Add(tld)
-			}
-		}
+	for _, p := range b.pages.sample(samplePages) {
+		c.Merge(&p.agg)
 	}
 	return Figure4{Shares: c.Sorted(), EduShare: c.Share("edu"), N: c.Total()}
 }
@@ -129,23 +293,49 @@ type Figure5 struct {
 // ComputeFigure5 reproduces Figure 5. Pages with fewer than minViews GET
 // requests are skipped (a rate over three views is noise).
 func ComputeFigure5(s *logstore.Store, samplePages, minViews int) Figure5 {
-	pages := datasets.D3FormsPages(s, samplePages)
+	b := NewFigure5Builder()
+	s.Scan(b.Observe)
+	return b.Figure5(samplePages, minViews)
+}
+
+// fig5Agg is one page's request-method tally.
+type fig5Agg struct {
+	gets, posts int
+}
+
+// Figure5Builder is the incremental form of ComputeFigure5.
+type Figure5Builder struct {
+	pages *d3Pages[fig5Agg]
+}
+
+// NewFigure5Builder returns an empty builder.
+func NewFigure5Builder() *Figure5Builder {
+	return &Figure5Builder{pages: newD3Pages[fig5Agg]()}
+}
+
+// Observe folds one event into the per-page GET/POST counts.
+func (b *Figure5Builder) Observe(e event.Event) {
+	p, h, ok := b.pages.observe(e)
+	if !ok {
+		return
+	}
+	switch h.Method {
+	case "GET":
+		p.agg.gets++
+	case "POST":
+		p.agg.posts++
+	}
+}
+
+// Figure5 snapshots the figure over the sampled pages observed so far.
+func (b *Figure5Builder) Figure5(samplePages, minViews int) Figure5 {
 	var rates stats.Sample
 	var out Figure5
-	for _, p := range pages {
-		gets, posts := 0, 0
-		for _, h := range p.Hits {
-			switch h.Method {
-			case "GET":
-				gets++
-			case "POST":
-				posts++
-			}
-		}
-		if gets < minViews {
+	for _, p := range b.pages.sample(samplePages) {
+		if p.agg.gets < minViews {
 			continue
 		}
-		r := float64(posts) / float64(gets)
+		r := float64(p.agg.posts) / float64(p.agg.gets)
 		out.PerPage = append(out.PerPage, r)
 		rates.Add(r)
 	}
@@ -183,15 +373,13 @@ func ComputeFigure6(s *logstore.Store, samplePages int) Figure6 {
 	return b.Figure6(samplePages)
 }
 
-// figure6Page is one Forms page's live aggregate: the hourly POST series
+// fig6Agg is one Forms page's live aggregate: the hourly POST series
 // anchored at its first hit, and the count of POSTs landing more than 12
 // hours after that first hit (the outlier signal).
-type figure6Page struct {
-	id        event.PageID
-	takenDown bool
-	first     time.Time
-	series    *stats.TimeSeries
-	late      int
+type fig6Agg struct {
+	first  time.Time
+	series *stats.TimeSeries
+	late   int
 }
 
 // Figure6Builder is the incremental form of ComputeFigure6. It mirrors
@@ -200,39 +388,28 @@ type figure6Page struct {
 // Events must arrive in time order — the first hit anchors each page's
 // hourly series — which both the sealed log and the stream bus guarantee.
 type Figure6Builder struct {
-	pages map[event.PageID]*figure6Page
+	pages *d3Pages[fig6Agg]
 }
 
 // NewFigure6Builder returns an empty builder.
 func NewFigure6Builder() *Figure6Builder {
-	return &Figure6Builder{pages: map[event.PageID]*figure6Page{}}
+	return &Figure6Builder{pages: newD3Pages[fig6Agg]()}
 }
 
 // Observe folds one event into the per-page aggregates.
 func (b *Figure6Builder) Observe(e event.Event) {
-	switch ev := e.(type) {
-	case event.PageCreated:
-		if ev.OnForms {
-			b.pages[ev.Page] = &figure6Page{id: ev.Page}
-		}
-	case event.PageTakedown:
-		if p, ok := b.pages[ev.Page]; ok {
-			p.takenDown = true
-		}
-	case event.PageHit:
-		p, ok := b.pages[ev.Page]
-		if !ok {
-			return
-		}
-		if p.series == nil {
-			p.first = ev.When()
-			p.series = stats.NewTimeSeries(p.first, time.Hour)
-		}
-		if ev.Method == "POST" {
-			p.series.Observe(ev.When())
-			if ev.When().Sub(p.first) > 12*time.Hour {
-				p.late++
-			}
+	p, h, ok := b.pages.observe(e)
+	if !ok {
+		return
+	}
+	if p.agg.series == nil {
+		p.agg.first = h.When()
+		p.agg.series = stats.NewTimeSeries(p.agg.first, time.Hour)
+	}
+	if h.Method == "POST" {
+		p.agg.series.Observe(h.When())
+		if h.When().Sub(p.agg.first) > 12*time.Hour {
+			p.agg.late++
 		}
 	}
 }
@@ -240,19 +417,7 @@ func (b *Figure6Builder) Observe(e event.Event) {
 // Figure6 snapshots the figure from the pages observed so far, drawing
 // Dataset 3's deterministic sample over the eligible (taken-down) pages.
 func (b *Figure6Builder) Figure6(samplePages int) Figure6 {
-	var eligible []*figure6Page
-	for _, p := range b.pages {
-		if p.takenDown {
-			eligible = append(eligible, p)
-		}
-	}
-	// Deterministic order before sampling, as D3FormsPages sorts.
-	for i := 1; i < len(eligible); i++ {
-		for j := i; j > 0 && eligible[j].id < eligible[j-1].id; j-- {
-			eligible[j], eligible[j-1] = eligible[j-1], eligible[j]
-		}
-	}
-	pages := datasets.SampleN(3, eligible, samplePages)
+	pages := b.pages.sample(samplePages)
 
 	var fig Figure6
 
@@ -262,27 +427,27 @@ func (b *Figure6Builder) Figure6(samplePages int) Figure6 {
 	// volume (Figure 6, bottom).
 	busiest, busiestLate := -1, 0
 	for i, p := range pages {
-		if p.series == nil {
+		if p.agg.series == nil {
 			continue
 		}
-		if p.late > busiestLate {
-			busiest, busiestLate = i, p.late
+		if p.agg.late > busiestLate {
+			busiest, busiestLate = i, p.agg.late
 		}
 	}
 
 	var sums []float64
 	counts := 0
 	for i, p := range pages {
-		if p.series == nil {
+		if p.agg.series == nil {
 			continue
 		}
 		if i == busiest {
-			fig.Outlier = p.series.Counts()
-			fig.OutlierQuietHours = quietHours(p.series.Counts())
+			fig.Outlier = p.agg.series.Counts()
+			fig.OutlierQuietHours = quietHours(p.agg.series.Counts())
 			continue
 		}
 		counts++
-		for j, c := range p.series.Counts() {
+		for j, c := range p.agg.series.Counts() {
 			for len(sums) <= j {
 				sums = append(sums, 0)
 			}

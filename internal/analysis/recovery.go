@@ -18,11 +18,36 @@ type Figure9 struct {
 	Latencies    *stats.Sample // hours
 }
 
-// ComputeFigure9 reproduces Figure 9.
+// ComputeFigure9 reproduces Figure 9. It scans the log through the
+// incremental builder so the batch and segmented paths share one
+// implementation.
 func ComputeFigure9(s *logstore.Store, sampleSize int) Figure9 {
-	recovered := datasets.D11RecoveredAccounts(s, sampleSize)
+	b := NewFigure9Builder()
+	s.Scan(b.Observe)
+	return b.Figure9(sampleSize)
+}
+
+// Figure9Builder is the incremental form of ComputeFigure9: it accumulates
+// Dataset 11's population (successful recoveries, in log order) and draws
+// the dataset's deterministic sample at snapshot time.
+type Figure9Builder struct {
+	recovered []event.ClaimResolved
+}
+
+// NewFigure9Builder returns an empty builder.
+func NewFigure9Builder() *Figure9Builder { return &Figure9Builder{} }
+
+// Observe folds one event into the Dataset 11 population.
+func (b *Figure9Builder) Observe(e event.Event) {
+	if r, ok := e.(event.ClaimResolved); ok && r.Success {
+		b.recovered = append(b.recovered, r)
+	}
+}
+
+// Figure9 snapshots the figure from the recoveries observed so far.
+func (b *Figure9Builder) Figure9(sampleSize int) Figure9 {
 	fig := Figure9{Latencies: &stats.Sample{}}
-	for _, r := range recovered {
+	for _, r := range datasets.SampleN(11, b.recovered, sampleSize) {
 		if r.FlaggedAt.IsZero() {
 			continue
 		}
@@ -53,10 +78,39 @@ type Figure10 struct {
 }
 
 // ComputeFigure10 reproduces Figure 10 over the claim attempts in
-// [from, to) — the paper used a full month of claims.
+// [from, to) — the paper used a full month of claims. It scans the log
+// through the incremental builder so the batch and segmented paths share
+// one implementation.
 func ComputeFigure10(s *logstore.Store, from, to time.Time) Figure10 {
+	b := NewFigure10Builder()
+	s.Scan(b.Observe)
+	return b.Figure10(from, to)
+}
+
+// Figure10Builder is the incremental form of ComputeFigure10: it buffers
+// Dataset 12's population (legitimate claim attempts) and applies the
+// window filter at snapshot time, when the bounds are known.
+type Figure10Builder struct {
+	attempts []event.ClaimAttempt
+}
+
+// NewFigure10Builder returns an empty builder.
+func NewFigure10Builder() *Figure10Builder { return &Figure10Builder{} }
+
+// Observe folds one event into the Dataset 12 population.
+func (b *Figure10Builder) Observe(e event.Event) {
+	if a, ok := e.(event.ClaimAttempt); ok && a.Actor != event.ActorHijacker {
+		b.attempts = append(b.attempts, a)
+	}
+}
+
+// Figure10 snapshots the figure over the window's attempts observed so far.
+func (b *Figure10Builder) Figure10(from, to time.Time) Figure10 {
 	fig := Figure10{Methods: map[event.RecoveryMethod]MethodStats{}}
-	for _, a := range datasets.D12ClaimAttempts(s, from, to) {
+	for _, a := range b.attempts {
+		if a.When().Before(from) || !a.When().Before(to) {
+			continue
+		}
 		m := fig.Methods[a.Method]
 		m.Attempts++
 		if a.Success {
@@ -82,22 +136,47 @@ type RecoveryChannels struct {
 }
 
 // ComputeRecoveryChannels reproduces the §6.3 reliability estimates from
-// the claim-attempt log and the population.
+// the claim-attempt log and the population. It scans the log through the
+// incremental builder so the batch and segmented paths share one
+// implementation.
 func ComputeRecoveryChannels(s *logstore.Store, secondaryTotal, secondaryRecycled int) RecoveryChannels {
+	b := NewRecoveryChannelsBuilder()
+	s.Scan(b.Observe)
+	return b.RecoveryChannels(secondaryTotal, secondaryRecycled)
+}
+
+// RecoveryChannelsBuilder is the incremental form of
+// ComputeRecoveryChannels: two counters over email verification attempts.
+type RecoveryChannelsBuilder struct {
+	emailAttempts int
+	bounces       int
+}
+
+// NewRecoveryChannelsBuilder returns an empty builder.
+func NewRecoveryChannelsBuilder() *RecoveryChannelsBuilder {
+	return &RecoveryChannelsBuilder{}
+}
+
+// Observe folds one event into the email-channel tallies.
+func (b *RecoveryChannelsBuilder) Observe(e event.Event) {
+	a, ok := e.(event.ClaimAttempt)
+	if !ok || a.Method != event.MethodEmail {
+		return
+	}
+	b.emailAttempts++
+	if !a.Success && a.Reason == "bounce" {
+		b.bounces++
+	}
+}
+
+// RecoveryChannels snapshots the estimates observed so far; the secondary
+// email totals come from the directory, not the log.
+func (b *RecoveryChannelsBuilder) RecoveryChannels(secondaryTotal, secondaryRecycled int) RecoveryChannels {
 	out := RecoveryChannels{
 		RecycledShare: stats.Ratio(float64(secondaryRecycled), float64(secondaryTotal)),
+		EmailAttempts: b.emailAttempts,
 	}
-	bounces := 0
-	for _, a := range logstore.Select[event.ClaimAttempt](s) {
-		if a.Method != event.MethodEmail {
-			continue
-		}
-		out.EmailAttempts++
-		if !a.Success && a.Reason == "bounce" {
-			bounces++
-		}
-	}
-	out.BounceShare = stats.Ratio(float64(bounces), float64(out.EmailAttempts))
+	out.BounceShare = stats.Ratio(float64(b.bounces), float64(out.EmailAttempts))
 	return out
 }
 
@@ -109,20 +188,41 @@ type RemissionStats struct {
 	WithSettingClear int
 }
 
-// ComputeRemission tallies remission outcomes.
+// ComputeRemission tallies remission outcomes. It scans the log through
+// the incremental builder so the batch and segmented paths share one
+// implementation.
 func ComputeRemission(s *logstore.Store) RemissionStats {
-	var out RemissionStats
-	for _, r := range logstore.Select[event.Remission](s) {
-		out.Remissions++
-		if r.RestoredMessages > 0 {
-			out.WithRestore++
-		}
-		if r.ClearedSettings {
-			out.WithSettingClear++
-		}
-	}
-	return out
+	b := NewRemissionBuilder()
+	s.Scan(b.Observe)
+	return b.Remission()
 }
+
+// RemissionBuilder is the incremental form of ComputeRemission: three
+// counters over remission events.
+type RemissionBuilder struct {
+	out RemissionStats
+}
+
+// NewRemissionBuilder returns an empty builder.
+func NewRemissionBuilder() *RemissionBuilder { return &RemissionBuilder{} }
+
+// Observe folds one event into the tallies.
+func (b *RemissionBuilder) Observe(e event.Event) {
+	r, ok := e.(event.Remission)
+	if !ok {
+		return
+	}
+	b.out.Remissions++
+	if r.RestoredMessages > 0 {
+		b.out.WithRestore++
+	}
+	if r.ClearedSettings {
+		b.out.WithSettingClear++
+	}
+}
+
+// Remission snapshots the tallies observed so far.
+func (b *RemissionBuilder) Remission() RemissionStats { return b.out }
 
 // RecoveryFraud summarizes §6.3's impostor risk: hijackers filing
 // fraudulent claims on accounts whose phished passwords went stale.

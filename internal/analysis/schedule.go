@@ -3,7 +3,7 @@ package analysis
 import (
 	"time"
 
-	"manualhijack/internal/datasets"
+	"manualhijack/internal/event"
 	"manualhijack/internal/logstore"
 	"manualhijack/internal/stats"
 )
@@ -27,19 +27,47 @@ type WorkSchedule struct {
 	Logins      int
 }
 
-// ComputeWorkSchedule reproduces §5.5 from the hijacker login log.
+// ComputeWorkSchedule reproduces §5.5 from the hijacker login log. It
+// scans the log through the incremental builder so the batch and segmented
+// paths share one implementation.
 func ComputeWorkSchedule(s *logstore.Store) WorkSchedule {
-	var out WorkSchedule
-	var hourly [24]int
-	weekend := 0
-	for _, l := range datasets.D5HijackerLogins(s) {
-		out.Logins++
-		hourly[l.When().Hour()]++
-		switch l.When().Weekday() {
-		case time.Saturday, time.Sunday:
-			weekend++
-		}
+	b := NewWorkScheduleBuilder()
+	s.Scan(b.Observe)
+	return b.WorkSchedule()
+}
+
+// WorkScheduleBuilder is the incremental form of ComputeWorkSchedule:
+// fixed-size hour-of-day and weekend tallies over Dataset 5's hijacker
+// logins.
+type WorkScheduleBuilder struct {
+	hourly  [24]int
+	weekend int
+	logins  int
+}
+
+// NewWorkScheduleBuilder returns an empty builder.
+func NewWorkScheduleBuilder() *WorkScheduleBuilder { return &WorkScheduleBuilder{} }
+
+// Observe folds one event into the tallies, mirroring Dataset 5's
+// hijacker-login filter.
+func (b *WorkScheduleBuilder) Observe(e event.Event) {
+	l, ok := e.(event.Login)
+	if !ok || l.Actor != event.ActorHijacker {
+		return
 	}
+	b.logins++
+	b.hourly[l.When().Hour()]++
+	switch l.When().Weekday() {
+	case time.Saturday, time.Sunday:
+		b.weekend++
+	}
+}
+
+// WorkSchedule snapshots the schedule observed so far.
+func (b *WorkScheduleBuilder) WorkSchedule() WorkSchedule {
+	out := WorkSchedule{Logins: b.logins}
+	hourly := b.hourly
+	weekend := b.weekend
 	if out.Logins == 0 {
 		return out
 	}

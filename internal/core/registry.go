@@ -6,6 +6,7 @@ import (
 
 	"manualhijack/internal/analysis"
 	"manualhijack/internal/behavior"
+	"manualhijack/internal/event"
 	"manualhijack/internal/geo"
 	"manualhijack/internal/identity"
 	"manualhijack/internal/logstore"
@@ -72,114 +73,183 @@ type Analysis struct {
 	// graphs, secondary-email state, activity). They are skipped when
 	// replaying a dumped log, where only events survive.
 	NeedsDir bool
-	Run      func(in AnalysisInput, r *StudyReport)
+	// Run computes the analysis against the whole log. Entries converted
+	// to builder form leave Run nil and define Stream instead; the runner
+	// derives the whole-log form by scanning the log through the builder,
+	// so the two paths cannot drift.
+	Run func(in AnalysisInput, r *StudyReport)
+	// Stream returns the analysis's incremental builder. On a segmented
+	// (spilled-to-disk) log, every Stream-capable analysis of an era is
+	// fed from ONE ordered scan — each segment is decoded once per pass
+	// instead of once per analysis — and finalized into its report field.
+	Stream func(in AnalysisInput) StreamAnalysis
 }
 
-// registry holds every analysis of the study, in report order.
+// StreamAnalysis is one analysis in builder form: events are folded in one
+// at a time (in log order) and the result is written to its report field
+// at the end. Builders are single-goroutine; the runner serializes feeds.
+type StreamAnalysis interface {
+	Observe(e event.Event)
+	Finalize(r *StudyReport)
+}
+
+// streamed packages a builder's observe/finalize pair as a StreamAnalysis.
+type streamed struct {
+	observe  func(event.Event)
+	finalize func(*StudyReport)
+}
+
+func (s streamed) Observe(e event.Event)   { s.observe(e) }
+func (s streamed) Finalize(r *StudyReport) { s.finalize(r) }
+
+// riskSweepThresholds is the §8.1 operating-point grid.
+var riskSweepThresholds = []float64{0.3, 0.4, 0.5, 0.58, 0.62, 0.7, 0.8, 0.9}
+
+// registry holds every analysis of the study, in report order. Most
+// entries are stream-only: their whole-log form is derived by scanning the
+// log through the builder, so one definition serves the monolithic, the
+// segmented, and the online-streaming paths. The remaining Run-only
+// entries need multi-pass joins over a sampled population (exploitation)
+// that have no bounded-state builder form.
 var registry = []Analysis{
 	// ---- 2011 era ----
-	{Name: "retention-2011", Era: Era2011, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Retention2011 = analysis.ComputeRetention(in.Log, 600)
+	{Name: "retention-2011", Era: Era2011, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewRetentionBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Retention2011 = b.Retention(600) }}
 	}},
-	{Name: "contact-risk", Era: Era2011, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
-		// Cohorts form four days after background campaigns stop, so the
-		// backlog of mass-campaign conversions is flushed and the outcome
-		// window isolates the hijacker contact-targeting loop.
-		cutoff := in.Start.Add(19 * 24 * time.Hour)
-		r.ContactRisk = analysis.ComputeContactRisk(
-			in.Log, in.Dir, cutoff, 8*24*time.Hour, 56*24*time.Hour,
-			scaleInt(3000, in.Scale, 200))
+	{Name: "contact-risk", Era: Era2011, NeedsDir: true, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewContactRiskBuilder()
+		return streamed{b.Observe, func(r *StudyReport) {
+			// Cohorts form four days after background campaigns stop, so the
+			// backlog of mass-campaign conversions is flushed and the outcome
+			// window isolates the hijacker contact-targeting loop.
+			cutoff := in.Start.Add(19 * 24 * time.Hour)
+			r.ContactRisk = b.ContactRisk(
+				in.Dir, cutoff, 8*24*time.Hour, 56*24*time.Hour,
+				scaleInt(3000, in.Scale, 200))
+		}}
 	}},
 
 	// ---- 2012 era — the big fan-out ----
-	{Name: "figure-3", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig3 = analysis.ComputeFigure3(in.Log, 100)
+	{Name: "figure-3", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure3Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig3 = b.Figure3(100) }}
 	}},
-	{Name: "figure-4", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig4 = analysis.ComputeFigure4(in.Log, 100)
+	{Name: "figure-4", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure4Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig4 = b.Figure4(100) }}
 	}},
-	{Name: "figure-5", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig5 = analysis.ComputeFigure5(in.Log, 100, 25)
+	{Name: "figure-5", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure5Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig5 = b.Figure5(100, 25) }}
 	}},
-	{Name: "figure-6", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig6 = analysis.ComputeFigure6(in.Log, analysis.DefaultFigure6SamplePages)
+	{Name: "figure-6", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure6Builder()
+		return streamed{b.Observe, func(r *StudyReport) {
+			r.Fig6 = b.Figure6(analysis.DefaultFigure6SamplePages)
+		}}
 	}},
-	{Name: "figure-7", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig7 = analysis.ComputeFigure7(in.Log)
+	{Name: "figure-7", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure7Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig7 = b.Figure7() }}
 	}},
-	{Name: "figure-8", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig8 = analysis.ComputeFigure8(in.Log)
+	{Name: "figure-8", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure8Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig8 = b.Figure8() }}
 	}},
-	{Name: "table-3", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Table3 = analysis.ComputeTable3(in.Log)
+	{Name: "table-3", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewTable3Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Table3 = b.Table3() }}
 	}},
-	{Name: "assessment", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Assessment = analysis.ComputeAssessment(in.Log, 575)
+	{Name: "assessment", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewAssessmentBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Assessment = b.Assessment(575) }}
 	}},
 	{Name: "exploitation", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
 		r.Exploitation = analysis.ComputeExploitation(in.Log, 575)
 	}},
-	{Name: "retention-2012", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Retention2012 = analysis.ComputeRetention(in.Log, 575)
+	{Name: "retention-2012", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewRetentionBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Retention2012 = b.Retention(575) }}
 	}},
-	{Name: "figure-9", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig9 = analysis.ComputeFigure9(in.Log, 5000)
+	{Name: "figure-9", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure9Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig9 = b.Figure9(5000) }}
 	}},
-	{Name: "figure-12", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig12 = analysis.ComputeFigure12(in.Log, 300)
+	{Name: "figure-12", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure12Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig12 = b.Figure12(300) }}
 	}},
-	{Name: "behavior-detector", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Behavior = analysis.EvaluateBehaviorDetector(in.Log, behavior.DefaultConfig())
+	{Name: "behavior-detector", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewBehaviorEvalBuilder(behavior.DefaultConfig())
+		return streamed{b.Observe, func(r *StudyReport) { r.Behavior = b.DetectionEval() }}
 	}},
-	{Name: "risk-sweep", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.RiskSweep = analysis.SweepRiskThreshold(in.Log,
-			[]float64{0.3, 0.4, 0.5, 0.58, 0.62, 0.7, 0.8, 0.9})
+	{Name: "risk-sweep", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewRiskSweepBuilder(riskSweepThresholds)
+		return streamed{b.Observe, func(r *StudyReport) { r.RiskSweep = b.Sweep() }}
 	}},
-	{Name: "work-schedule", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Schedule = analysis.ComputeWorkSchedule(in.Log)
+	{Name: "work-schedule", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewWorkScheduleBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Schedule = b.WorkSchedule() }}
 	}},
-	{Name: "doppelganger", Era: Era2012, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Doppelganger = analysis.EvaluateDoppelgangerDetector(in.Log, in.Dir, 0.75)
+	{Name: "doppelganger", Era: Era2012, NeedsDir: true, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewDoppelgangerBuilder(in.Dir, 0.75)
+		return streamed{b.Observe, func(r *StudyReport) { r.Doppelganger = b.DoppelgangerEval() }}
 	}},
-	{Name: "monetization", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Monetization = analysis.ComputeMonetization(in.Log)
+	{Name: "monetization", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewMonetizationBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Monetization = b.Monetization() }}
 	}},
-	{Name: "lifecycle", Era: Era2012, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Lifecycle = analysis.ComputeLifecycle(in.Log)
+	{Name: "lifecycle", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewLifecycleBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Lifecycle = b.Lifecycle() }}
 	}},
 
 	// ---- 2013 era ----
-	{Name: "figure-10", Era: Era2013, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig10 = analysis.ComputeFigure10(in.Log, in.Start, in.End)
+	{Name: "figure-10", Era: Era2013, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure10Builder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Fig10 = b.Figure10(in.Start, in.End) }}
 	}},
-	{Name: "recovery-channels", Era: Era2013, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
-		secTotal, secRecycled := secondaryCountsDir(in.Dir)
-		r.Channels = analysis.ComputeRecoveryChannels(in.Log, secTotal, secRecycled)
+	{Name: "recovery-channels", Era: Era2013, NeedsDir: true, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewRecoveryChannelsBuilder()
+		return streamed{b.Observe, func(r *StudyReport) {
+			secTotal, secRecycled := secondaryCountsDir(in.Dir)
+			r.Channels = b.RecoveryChannels(secTotal, secRecycled)
+		}}
 	}},
-	{Name: "remission", Era: Era2013, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Remission = analysis.ComputeRemission(in.Log)
+	{Name: "remission", Era: Era2013, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewRemissionBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Remission = b.Remission() }}
 	}},
 
 	// ---- 2014 era ----
-	{Name: "table-2", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Table2 = analysis.ComputeTable2(in.Log, 100)
+	{Name: "table-2", Era: Era2014, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewPhishSampleBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.Table2 = b.Table2(100) }}
 	}},
-	{Name: "url-share", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
-		r.URLShare = analysis.URLShare(in.Log, 100)
+	{Name: "url-share", Era: Era2014, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewPhishSampleBuilder()
+		return streamed{b.Observe, func(r *StudyReport) { r.URLShare = b.URLShare(100) }}
 	}},
-	{Name: "figure-11", Era: Era2014, Run: func(in AnalysisInput, r *StudyReport) {
-		r.Fig11 = analysis.ComputeFigure11(in.Log, in.Plan, analysis.DefaultFigure11Cases)
+	{Name: "figure-11", Era: Era2014, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewFigure11Builder()
+		return streamed{b.Observe, func(r *StudyReport) {
+			r.Fig11 = b.Figure11(in.Plan, analysis.DefaultFigure11Cases)
+		}}
 	}},
 
 	// ---- base rates ----
-	{Name: "base-rates", Era: EraBase, NeedsDir: true, Run: func(in AnalysisInput, r *StudyReport) {
-		active := 0
-		in.Dir.All(func(a *identity.Account) {
-			if a.Active(in.End) {
-				active++
-			}
-		})
-		r.BaseRates = analysis.ComputeBaseRates(in.Log, in.Start, in.End, active)
+	{Name: "base-rates", Era: EraBase, NeedsDir: true, Stream: func(in AnalysisInput) StreamAnalysis {
+		b := analysis.NewBaseRatesBuilder(in.Start)
+		return streamed{b.Observe, func(r *StudyReport) {
+			active := 0
+			in.Dir.All(func(a *identity.Account) {
+				if a.Active(in.End) {
+					active++
+				}
+			})
+			r.BaseRates = b.BaseRates(in.Start, in.End, active)
+		}}
 	}},
 }
 
@@ -215,18 +285,75 @@ func RunAnalyses(in AnalysisInput, par int) (*StudyReport, []string) {
 		par = runtime.GOMAXPROCS(0)
 	}
 	r := &StudyReport{}
-	jobs := make([]func(), 0, len(registry))
-	var skipped []string
+	jobs, skipped := analysisJobs(func(Era) AnalysisInput { return in }, r)
+	runAll(par, jobs)
+	return r, skipped
+}
+
+// analysisJobs builds the parallel job list for the whole registry, given
+// the input each era's analyses read. On monolithic (in-RAM) logs every
+// entry is its own job, preserving the wide fan-out. On a segmented log
+// the Stream-capable entries of each store are grouped into a single
+// map-reduce job: one ordered scan decodes every segment exactly once and
+// feeds all builders, which then finalize into their report fields — the
+// pass count stops scaling with the analysis count. Entries whose
+// directory requirement is unmet are returned in skipped.
+func analysisJobs(input func(Era) AnalysisInput, r *StudyReport) (jobs []func(), skipped []string) {
+	type group struct {
+		in      AnalysisInput
+		entries []Analysis
+	}
+	var groups []*group
+	byStore := map[*logstore.Store]*group{}
 	for _, a := range registry {
+		a := a
+		in := input(a.Era)
 		if a.NeedsDir && in.Dir == nil {
 			skipped = append(skipped, a.Name)
 			continue
 		}
-		a := a
-		jobs = append(jobs, func() { a.Run(in, r) })
+		if a.Stream != nil && in.Log.Segmented() {
+			g := byStore[in.Log]
+			if g == nil {
+				g = &group{in: in}
+				byStore[in.Log] = g
+				groups = append(groups, g)
+			}
+			g.entries = append(g.entries, a)
+			continue
+		}
+		jobs = append(jobs, func() { runOne(a, in, r) })
 	}
-	runAll(par, jobs)
-	return r, skipped
+	for _, g := range groups {
+		g := g
+		jobs = append(jobs, func() {
+			builders := make([]StreamAnalysis, len(g.entries))
+			for i, a := range g.entries {
+				builders[i] = a.Stream(g.in)
+			}
+			g.in.Log.Scan(func(e event.Event) {
+				for _, b := range builders {
+					b.Observe(e)
+				}
+			})
+			for _, b := range builders {
+				b.Finalize(r)
+			}
+		})
+	}
+	return jobs, skipped
+}
+
+// runOne executes one entry in whole-log form, deriving it from the
+// builder when the entry is stream-only.
+func runOne(a Analysis, in AnalysisInput, r *StudyReport) {
+	if a.Run != nil {
+		a.Run(in, r)
+		return
+	}
+	b := a.Stream(in)
+	in.Log.Scan(b.Observe)
+	b.Finalize(r)
 }
 
 // secondaryCountsDir tallies the population's secondary-email totals for

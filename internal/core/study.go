@@ -2,11 +2,13 @@ package core
 
 import (
 	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"manualhijack/internal/analysis"
+	"manualhijack/internal/logstore"
 	"manualhijack/internal/recovery"
 )
 
@@ -25,6 +27,32 @@ type StudyConfig struct {
 	// StudyReport for the same Seed — each world owns an independent
 	// seed and log, and each analysis writes its own report field.
 	Parallelism int
+	// SpillDir, when set, runs every era world with a spill-to-disk
+	// segmented log (one subdirectory per era) so peak RAM is bounded by
+	// the segment size instead of the world size, and the analyses run as
+	// a map-reduce over the segment files. The report is byte-identical
+	// to a monolithic run of the same Seed.
+	SpillDir string
+	// SegmentRecords caps records per segment (0 = logstore default);
+	// SegmentBytes optionally seals on encoded size instead. SpillGzip
+	// compresses segment files.
+	SegmentRecords int
+	SegmentBytes   int64
+	SpillGzip      bool
+}
+
+// spillFor derives one era world's spill configuration, or the zero value
+// (spilling off) when the study is monolithic.
+func (sc StudyConfig) spillFor(era string) logstore.SpillConfig {
+	if sc.SpillDir == "" {
+		return logstore.SpillConfig{}
+	}
+	return logstore.SpillConfig{
+		Dir:            filepath.Join(sc.SpillDir, era),
+		SegmentRecords: sc.SegmentRecords,
+		SegmentBytes:   sc.SegmentBytes,
+		Compress:       sc.SpillGzip,
+	}
 }
 
 // DefaultStudyConfig is the full-scale study.
@@ -116,6 +144,7 @@ func (sc StudyConfig) world2011() *World {
 		Roster2011(), 12, 350)
 	cfg.Recovery = recovery.Config2011()
 	cfg.CampaignDays = 15 // background phishing only while cohorts form
+	cfg.Spill = sc.spillFor("2011")
 	w := NewWorld(cfg)
 	w.Run()
 	return w
@@ -128,6 +157,7 @@ func (sc StudyConfig) world2012() *World {
 		time.Date(2012, 11, 1, 0, 0, 0, 0, time.UTC), 30, 12000,
 		Roster2012(), 30, 420)
 	cfg.DecoyN = scaleInt(sc.DecoyN, sc.Scale, 40)
+	cfg.Spill = sc.spillFor("2012")
 	w := NewWorld(cfg)
 	w.InjectDecoys(20 * 24 * time.Hour)
 	w.Run()
@@ -137,9 +167,11 @@ func (sc StudyConfig) world2012() *World {
 // world2013 runs February 2013: a month of recovery claims (Dataset 12,
 // Figure 10).
 func (sc StudyConfig) world2013() *World {
-	w := NewWorld(sc.era(
+	cfg := sc.era(
 		time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC), 28, 8000,
-		Roster2012(), 22, 420))
+		Roster2012(), 22, 420)
+	cfg.Spill = sc.spillFor("2013")
+	w := NewWorld(cfg)
 	w.Run()
 	return w
 }
@@ -153,6 +185,7 @@ func (sc StudyConfig) world2014() *World {
 	// No outlier campaigns here: their 6× lure volume makes the Table 2
 	// email sample lumpy, and Figure 6 is computed from the 2012 world.
 	cfg.OutlierShare = 0
+	cfg.Spill = sc.spillFor("2014")
 	w := NewWorld(cfg)
 	w.Run()
 	return w
@@ -163,9 +196,11 @@ func (sc StudyConfig) world2014() *World {
 // run at boosted phishing intensity for statistical power (documented in
 // EXPERIMENTS.md).
 func (sc StudyConfig) worldBase() *World {
-	w := NewWorld(sc.era(
+	cfg := sc.era(
 		time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC), 30, 20000,
-		Roster2012(), 0.9, 100))
+		Roster2012(), 0.9, 100)
+	cfg.Spill = sc.spillFor("base")
+	w := NewWorld(cfg)
 	w.Run()
 	return w
 }
@@ -245,12 +280,7 @@ func RunStudy(sc StudyConfig) *StudyReport {
 		Era2014: worldInput(w2014, sc.Scale),
 		EraBase: worldInput(wBase, sc.Scale),
 	}
-	jobs := make([]func(), 0, len(registry))
-	for _, a := range registry {
-		a := a
-		in := inputs[a.Era]
-		jobs = append(jobs, func() { a.Run(in, r) })
-	}
+	jobs, _ := analysisJobs(func(e Era) AnalysisInput { return inputs[e] }, r)
 	runAll(par, jobs)
 
 	return r

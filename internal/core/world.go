@@ -100,6 +100,13 @@ type Config struct {
 	// entirely erases many authentication-related logs within a short
 	// time window", §3). Off by default so analyses see full windows.
 	AuthLogRetentionDays int
+	// Spill, when Dir is set, builds the world's log as spill-to-disk
+	// segments instead of one in-RAM slice: peak memory is bounded by the
+	// segment size, not the world size, and the sealed log serves reads
+	// as a map-reduce over the segment files. Incompatible with
+	// AuthLogRetentionDays — spilled segments are immutable. The Meta
+	// field is filled from the world's window and seed.
+	Spill logstore.SpillConfig
 }
 
 // DefaultConfig returns a mid-sized world with the November 2012 era
@@ -181,6 +188,21 @@ func NewWorld(cfg Config) *World {
 	dir := NewStudyDirectory(cfg.Seed, cfg.Start, cfg.PopulationN+cfg.DecoyN)
 
 	log := logstore.New()
+	if sp := cfg.Spill; sp.Dir != "" {
+		if cfg.AuthLogRetentionDays > 0 {
+			panic("core: AuthLogRetentionDays sanitization is incompatible with a spilled log (segments are immutable)")
+		}
+		if sp.Meta == (logstore.Meta{}) {
+			sp.Meta = logstore.Meta{
+				Start: cfg.Start,
+				End:   cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
+				Seed:  cfg.Seed,
+			}
+		}
+		if err := log.EnableSpill(sp); err != nil {
+			panic("core: enable spill: " + err.Error())
+		}
+	}
 	log.Reserve(cfg.expectedEvents())
 	plan := DefaultIPPlan()
 

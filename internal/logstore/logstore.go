@@ -68,8 +68,14 @@ type Store struct {
 	sealed atomic.Bool
 	// byKind is the per-kind partition index built by Seal, each
 	// partition preserving log order. All partitions share one backing
-	// array, allocated exactly once at its final size.
+	// array, allocated exactly once at its final size. Nil on a
+	// segmented store, whose reads stream from disk instead.
 	byKind map[event.Kind][]event.Event
+
+	// spill, when non-nil, puts the store in segmented spill-to-disk
+	// mode (see segment.go): events holds only the active segment, and
+	// sealed reads stream spilled segments through a bounded cache.
+	spill *spillState
 }
 
 // New returns an empty store.
@@ -79,7 +85,14 @@ func New() *Store { return &Store{} }
 // further allocation. Worlds that can estimate their event volume call it
 // once at assembly, so steady-state appends never trigger a growth copy.
 // Reserve follows the build-phase contract: writer goroutine only.
+//
+// A spilling store caps the reservation at one segment's capacity: the
+// whole point of spill mode is that the in-RAM slice never outgrows a
+// segment, so a whole-world estimate would defeat the memory bound.
 func (s *Store) Reserve(n int) {
+	if sp := s.spill; sp != nil && n > sp.cfg.SegmentRecords {
+		n = sp.cfg.SegmentRecords
+	}
 	if n <= cap(s.events) {
 		return
 	}
@@ -108,6 +121,14 @@ func (s *Store) Append(e event.Event) {
 	if s.tap != nil {
 		s.tap(e)
 	}
+	if sp := s.spill; sp != nil && sp.shouldSeal(len(s.events)) {
+		// Spill failures poison the log (a segment gap would corrupt
+		// every analysis), so they surface like the other invariant
+		// violations on this path.
+		if err := s.spillActive(); err != nil {
+			panic("logstore: spill: " + err.Error())
+		}
+	}
 }
 
 // SetTap registers fn to observe every subsequent Append, synchronously on
@@ -132,7 +153,16 @@ func (s *Store) Seal() {
 	if s.sealed.Load() {
 		return
 	}
-	s.rebuildIndex()
+	if s.spill != nil {
+		// Segmented path: flush the final partial segment and write the
+		// manifest instead of building an in-RAM kind index — the
+		// per-segment kind tallies play that role.
+		if err := s.finishSpill(); err != nil {
+			panic("logstore: spill: " + err.Error())
+		}
+	} else {
+		s.rebuildIndex()
+	}
 	s.sealed.Store(true)
 }
 
@@ -169,19 +199,41 @@ func (s *Store) rebuildIndex() {
 	s.byKind = idx
 }
 
-// Len returns the number of records.
-func (s *Store) Len() int { return len(s.events) }
+// Len returns the number of records, spilled segments included.
+func (s *Store) Len() int {
+	if sp := s.spill; sp != nil {
+		return sp.spilled + len(s.events)
+	}
+	return len(s.events)
+}
 
-// Scan calls fn for every record in order.
+// Scan calls fn for every record in order. On a segmented store the
+// spilled segments stream through the cache in time order (with the next
+// segment prefetched), so the whole log is visited without ever being
+// resident at once.
 func (s *Store) Scan(fn func(event.Event)) {
+	if sp := s.spill; sp != nil {
+		if !s.sealed.Load() {
+			// Records before the active segment are already on disk; a
+			// build-phase scan would silently see a suffix of the log.
+			panic("logstore: Scan on a spilling store before Seal")
+		}
+		sp.scan(fn)
+		return
+	}
 	for _, e := range s.events {
 		fn(e)
 	}
 }
 
 // snapshot returns the current record slice. Callers must treat it as
-// read-only.
-func (s *Store) snapshot() []event.Event { return s.events }
+// read-only. Segmented stores have no whole-log slice to hand out.
+func (s *Store) snapshot() []event.Event {
+	if s.spill != nil {
+		panic("logstore: snapshot of a segmented store")
+	}
+	return s.events
+}
 
 // kindPartition returns the sealed index partition for k. ok is false on
 // an unsealed store, where callers must fall back to scanning.
@@ -216,6 +268,16 @@ func SelectWhere[T event.Event](s *Store, pred func(T) bool) []T {
 // registered record type.
 func forEachOfType[T event.Event](s *Store, fn func(T)) {
 	if k, ok := event.KindFor[T](); ok {
+		if s.Segmented() {
+			// Per-segment kind tallies replace the in-RAM index: segments
+			// holding none of k are skipped without touching disk.
+			s.spill.scanKind(k, func(e event.Event) {
+				if t, ok := e.(T); ok {
+					fn(t)
+				}
+			})
+			return
+		}
 		if part, sealed := s.kindPartition(k); sealed {
 			for _, e := range part {
 				if t, ok := e.(T); ok {
@@ -236,6 +298,9 @@ func forEachOfType[T event.Event](s *Store, fn func(T)) {
 // sealed store the window is located by binary search and the returned
 // slice aliases the frozen log; callers must treat it as read-only.
 func (s *Store) Between(from, to time.Time) []event.Event {
+	if s.Segmented() {
+		return s.spill.between(from, to)
+	}
 	events := s.events
 	if s.sealed.Load() {
 		lo := sort.Search(len(events), func(i int) bool { return !events[i].When().Before(from) })
@@ -273,6 +338,12 @@ type Retention struct {
 // sealed store it rebuilds the kind index so partitions never serve
 // erased records.
 func (s *Store) Sanitize(now time.Time, policy Retention) int {
+	if s.spill != nil {
+		// Spilled segments are immutable files; rewriting them to erase
+		// records is not supported. Worlds with a retention policy must
+		// stay in-RAM (Config validates this up front).
+		panic("logstore: Sanitize is incompatible with spill-to-disk segments")
+	}
 	cutoff := now.Add(-policy.Window)
 	// Build the kind set once instead of rescanning policy.Kinds per record.
 	var kinds map[event.Kind]bool
@@ -317,6 +388,22 @@ func MapReduce[K comparable, V any, R any](
 	mapper func(event.Event) []KV[K, V],
 	reducer func(K, []V) R,
 ) map[K]R {
+	if s.Segmented() {
+		// Stream segments in log order on one goroutine: grouping still
+		// sees values in original order, so results are byte-identical
+		// to the sharded in-RAM path.
+		groups := make(map[K][]V)
+		s.Scan(func(e event.Event) {
+			for _, kv := range mapper(e) {
+				groups[kv.Key] = append(groups[kv.Key], kv.Val)
+			}
+		})
+		result := make(map[K]R, len(groups))
+		for k, vs := range groups {
+			result[k] = reducer(k, vs)
+		}
+		return result
+	}
 	events := s.snapshot()
 	shards := runtime.GOMAXPROCS(0)
 	if shards > len(events) {
@@ -390,6 +477,21 @@ func CountBy[K comparable](s *Store, key func(event.Event) (K, bool)) map[K]int 
 // sanity checks and the hijacksim binary). A sealed store answers from
 // the kind index in O(kinds); an unsealed one scans.
 func (s *Store) KindCounts() map[event.Kind]int {
+	if sp := s.spill; sp != nil {
+		// Answered from the per-segment manifest tallies plus the active
+		// segment — no disk reads. Correct in both phases (build-phase
+		// calls follow the single-writer contract like everything else).
+		out := make(map[event.Kind]int, 32)
+		for _, seg := range sp.segs {
+			for k, n := range seg.Kinds {
+				out[k] += n
+			}
+		}
+		for _, e := range s.events {
+			out[e.EventKind()]++
+		}
+		return out
+	}
 	if s.sealed.Load() {
 		out := make(map[event.Kind]int, len(s.byKind))
 		for k, part := range s.byKind {

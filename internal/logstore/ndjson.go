@@ -91,16 +91,21 @@ func WriteNDJSONMeta(w io.Writer, s *Store, m Meta) error {
 		if err != nil {
 			return
 		}
-		var data []byte
-		if data, err = json.Marshal(e); err != nil {
-			return
-		}
-		err = enc.Encode(envelope{Kind: e.EventKind(), Data: data})
+		err = encodeEnvelope(enc, e)
 	})
 	if err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// encodeEnvelope writes one record line in the dump wire format.
+func encodeEnvelope(enc *json.Encoder, e event.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(envelope{Kind: e.EventKind(), Data: data})
 }
 
 // WriteNDJSONFile dumps s to path, gzip-compressing when the name ends in
@@ -132,16 +137,26 @@ type ReadOptions struct {
 	// trailing records (crash-durable dumps), and out-of-order records:
 	// offenders are dropped and counted in ReadStats — never silently.
 	// The default strict mode fails on the first bad line with its number.
+	// When opening a segment directory, corruption is handled at segment
+	// granularity: a segment with any bad line is dropped whole (counted
+	// in SegmentsDropped), because a partial segment would silently shift
+	// every time-windowed aggregate behind it.
 	SkipCorrupt bool
 	// Shards bounds the parallel JSON-decode workers: 0 means GOMAXPROCS,
 	// 1 decodes inline on the reading goroutine (the sequential baseline).
+	// For a segment directory this is the segment-verification worker
+	// count instead (each segment decodes inline on its worker).
 	Shards int
+	// CacheSegments bounds how many decoded segments the returned store
+	// keeps in RAM when the input is a segment directory (0 means
+	// DefaultCacheSegments). Ignored for monolithic dumps.
+	CacheSegments int
 }
 
 // ReadStats reports what a load actually ingested.
 type ReadStats struct {
 	Records    int  // decoded records in the returned store
-	Dropped    int  // malformed or unknown-kind lines dropped (SkipCorrupt)
+	Dropped    int  // malformed or unknown-kind lines dropped (SkipCorrupt); for segment directories this includes every record of a dropped segment
 	OutOfOrder int  // records dropped for violating time order (SkipCorrupt)
 	Missing    int  // header-declared records absent from the input (truncated dump)
 	Truncated  bool // the input itself ended mid-stream (e.g. a cut gzip)
@@ -150,6 +165,12 @@ type ReadStats struct {
 	// First and Last bound the decoded records' timestamps; offline
 	// analysis falls back to them when Meta carries no window.
 	First, Last time.Time
+	// Segments and SegmentsDropped describe a segment-directory load:
+	// segments served by the returned store, and whole segments dropped
+	// for corruption or cross-segment disorder (SkipCorrupt mode only —
+	// strict mode fails instead). Both zero for monolithic dumps.
+	Segments        int
+	SegmentsDropped int
 }
 
 // ReadNDJSON reconstructs a store from WriteNDJSON output in strict mode.
@@ -166,26 +187,43 @@ func ReadNDJSON(r io.Reader) (*Store, error) {
 // in parallel shards and verifying time order instead of trusting it.
 // Gzip input is detected by magic bytes and decompressed transparently.
 func ReadNDJSONWith(r io.Reader, opts ReadOptions) (*Store, *ReadStats, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, nil, fmt.Errorf("logstore: gzip: %w", err)
-		}
-		defer zr.Close()
-		return readNDJSON(zr, opts)
+	plain, closeFn, err := sniffGzip(r)
+	if err != nil {
+		return nil, nil, err
 	}
-	return readNDJSON(br, opts)
+	defer closeFn()
+	return readNDJSON(plain, opts)
 }
 
-// ReadNDJSONFile loads a dump from disk (plain or gzip-compressed).
+// ReadNDJSONFile loads a dump from disk (plain or gzip-compressed). When
+// path is a directory it is opened as a spilled segment directory instead
+// (see OpenSegmentDir) — the offline pipeline treats both layouts as one
+// virtual store.
 func ReadNDJSONFile(path string, opts ReadOptions) (*Store, *ReadStats, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return OpenSegmentDir(path, opts)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
 	return ReadNDJSONWith(f, opts)
+}
+
+// sniffGzip peeks at r and transparently unwraps a gzip stream. The
+// returned close function releases the decompressor (a no-op for plain
+// input); the underlying reader is never closed.
+func sniffGzip(r io.Reader) (io.Reader, func() error, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("logstore: gzip: %w", err)
+		}
+		return zr, zr.Close, nil
+	}
+	return br, func() error { return nil }, nil
 }
 
 // batchLines is the unit of work handed to a decode shard. JSON unmarshal
@@ -243,7 +281,23 @@ func decodeLine(data []byte) (event.Event, error) {
 	return event.Decode(env.Kind, env.Data)
 }
 
+// readNDJSON decodes a full dump and seals it into a store.
 func readNDJSON(r io.Reader, opts ReadOptions) (*Store, *ReadStats, error) {
+	events, st, err := decodeNDJSON(r, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The log is complete by construction: seal so every read gets the
+	// kind-indexed fast paths instead of full-log scans.
+	s := &Store{events: events}
+	s.Seal()
+	return s, st, nil
+}
+
+// decodeNDJSON is the core NDJSON decode shared by monolithic dump loads
+// and segment-file loads: it returns the time-ordered event slice and the
+// ingest stats without committing to a storage layout.
+func decodeNDJSON(r io.Reader, opts ReadOptions) ([]event.Event, *ReadStats, error) {
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -389,11 +443,7 @@ func readNDJSON(r io.Reader, opts ReadOptions) (*Store, *ReadStats, error) {
 		}
 	}
 
-	// The log is complete by construction: seal so every read gets the
-	// kind-indexed fast paths instead of full-log scans.
-	s := &Store{events: events}
-	s.Seal()
-	return s, st, nil
+	return events, st, nil
 }
 
 // drain closes the work channel (if any) and waits for the shards.

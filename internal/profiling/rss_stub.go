@@ -1,0 +1,6 @@
+//go:build !linux && !darwin
+
+package profiling
+
+// PeakRSS is unavailable on this platform; callers treat 0 as "unknown".
+func PeakRSS() uint64 { return 0 }

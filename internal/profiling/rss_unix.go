@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package profiling
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// PeakRSS returns the process's peak resident set size in bytes, from
+// getrusage(2). It returns 0 when the kernel does not report it. The
+// study binaries print it so the bench harness can record real memory
+// high-water marks, not just Go-heap numbers — the spilled-segment log's
+// whole point is bounding this figure.
+func PeakRSS() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := uint64(ru.Maxrss)
+	if runtime.GOOS == "darwin" {
+		return rss // already bytes
+	}
+	return rss * 1024 // linux reports kilobytes
+}

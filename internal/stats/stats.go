@@ -29,6 +29,16 @@ func (c *Counter) AddN(key string, n int) {
 	c.total += n
 }
 
+// Merge folds other's counts into c. Because a Counter is insensitive to
+// the order keys were added, merging per-partition counters reproduces the
+// single-pass counter exactly — the property the segmented map-reduce
+// analyses lean on.
+func (c *Counter) Merge(other *Counter) {
+	for k, n := range other.counts {
+		c.AddN(k, n)
+	}
+}
+
 // Total returns the sum of all counts.
 func (c *Counter) Total() int { return c.total }
 

@@ -16,6 +16,11 @@
 #   COUNT        -count for benchstat variance (default 1)
 #   STUDY_SCALE  hijackstudy -scale for the wall-clock probe (default 0.1)
 #   STUDY_SEED   hijackstudy -seed (default 1)
+#   SPILL_SCALE  hijackstudy -scale for the spill-mode probe (default:
+#                STUDY_SCALE). The spill probe runs the same study with
+#                -spill-dir, recording wall-clock and peak RSS for the
+#                bounded-RAM segmented path; ISSUE 7's headline number is
+#                SPILL_SCALE=1.0. Set SPILL_SCALE=0 to skip the probe.
 #   SERVE_REPLAY set to 1 to also run the riskd replay-throughput sweep
 #                (seed-7 dump through a live riskd at workers {1,4} ×
 #                batch {off,64}); adds a "serving_replay" block to $JSON.
@@ -35,6 +40,7 @@ BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-1}"
 STUDY_SCALE="${STUDY_SCALE:-0.1}"
 STUDY_SEED="${STUDY_SEED:-1}"
+SPILL_SCALE="${SPILL_SCALE:-$STUDY_SCALE}"
 SERVE_REPLAY="${SERVE_REPLAY:-0}"
 SERVE_PORT="${SERVE_PORT:-8099}"
 
@@ -91,15 +97,36 @@ fi
 
 echo "== study wall-clock (scale=$STUDY_SCALE seed=$STUDY_SEED)" >&2
 go build -o /tmp/hijackstudy.bench ./cmd/hijackstudy
+STUDY_OUT=$(mktemp)
 start_ms=$(date +%s%3N)
-/tmp/hijackstudy.bench -seed "$STUDY_SEED" -scale "$STUDY_SCALE" > /dev/null
+/tmp/hijackstudy.bench -seed "$STUDY_SEED" -scale "$STUDY_SCALE" > "$STUDY_OUT"
 end_ms=$(date +%s%3N)
 study_s=$(awk -v a="$start_ms" -v b="$end_ms" 'BEGIN { printf "%.3f", (b - a) / 1000 }')
-echo "study wall-clock: ${study_s}s (scale=$STUDY_SCALE)" >&2
+study_rss=$(awk '/^peak-rss-mib:/ { print $2 }' "$STUDY_OUT"); study_rss="${study_rss:-0}"
+rm -f "$STUDY_OUT"
+echo "study wall-clock: ${study_s}s peak-rss: ${study_rss}MiB (scale=$STUDY_SCALE)" >&2
+
+# Spill-mode probe: the same study through the spill-to-disk segmented
+# log (bounded RAM, byte-identical report). Records the wall-clock tax
+# and the peak-RSS saving of the segmented path.
+spill_s=0; spill_rss=0
+if [ "$SPILL_SCALE" != "0" ]; then
+    echo "== study wall-clock, spill mode (scale=$SPILL_SCALE seed=$STUDY_SEED)" >&2
+    SPILL_TMP=$(mktemp -d)
+    start_ms=$(date +%s%3N)
+    /tmp/hijackstudy.bench -seed "$STUDY_SEED" -scale "$SPILL_SCALE" \
+        -spill-dir "$SPILL_TMP/segs" > "$SPILL_TMP/out.txt"
+    end_ms=$(date +%s%3N)
+    spill_s=$(awk -v a="$start_ms" -v b="$end_ms" 'BEGIN { printf "%.3f", (b - a) / 1000 }')
+    spill_rss=$(awk '/^peak-rss-mib:/ { print $2 }' "$SPILL_TMP/out.txt"); spill_rss="${spill_rss:-0}"
+    rm -rf "$SPILL_TMP"
+    echo "spill study wall-clock: ${spill_s}s peak-rss: ${spill_rss}MiB (scale=$SPILL_SCALE)" >&2
+fi
 
 # Summarize the benchstat text as JSON. Multiple -count runs of the same
 # benchmark are averaged.
-awk -v study_s="$study_s" -v scale="$STUDY_SCALE" \
+awk -v study_s="$study_s" -v scale="$STUDY_SCALE" -v study_rss="$study_rss" \
+    -v spill_s="$spill_s" -v spill_scale="$SPILL_SCALE" -v spill_rss="$spill_rss" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^Benchmark/ {
@@ -128,8 +155,10 @@ END {
         printf "}%s\n", (i < count ? "," : "")
     }
     printf "  },\n"
-    printf "  \"study\": {\"scale\": %s, \"wallclock_s\": %s}\n", scale, study_s
-    printf "}\n"
+    printf "  \"study\": {\"scale\": %s, \"wallclock_s\": %s, \"peak_rss_mib\": %s}", scale, study_s, study_rss
+    if (spill_scale != "0")
+        printf ",\n  \"study_spill\": {\"scale\": %s, \"wallclock_s\": %s, \"peak_rss_mib\": %s}", spill_scale, spill_s, spill_rss
+    printf "\n}\n"
 }' "$TXT" > "$JSON"
 
 if [ -n "$REPLAY_SWEEP_DIR" ]; then
