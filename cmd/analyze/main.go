@@ -27,7 +27,14 @@
 //
 //	hijacksim -pop 8000 -days 30 -decoys 100 -events world.ndjson.gz
 //	analyze -events world.ndjson.gz [-skip-corrupt] [-par N] [-decode-shards N] [-stream]
-//	        [-cache-segments N] [-spill-dir d [-segment-records N] [-segment-gzip]]
+//	        [-cache-segments N] [-scan-workers N]
+//	        [-spill-dir d [-segment-records N] [-segment-gzip]]
+//
+// -scan-workers sets how many segments the analysis scans decode ahead of
+// the one being folded (report bytes are unaffected). After a segmented
+// analysis the segment-cache counters (hits, decode misses, deduplicated
+// prefetches, evictions) are printed, so scan-pattern regressions —
+// thrash, dead prefetch — are visible from the CLI.
 package main
 
 import (
@@ -52,6 +59,8 @@ func main() {
 		"also replay the dump through the incremental streaming analyses and verify they match the batch output exactly")
 	cacheSegments := flag.Int("cache-segments", 0,
 		"decoded segments kept in RAM when reading a segment directory (0 = logstore default)")
+	scanWorkers := flag.Int("scan-workers", 0,
+		"segments decoded ahead during analysis scans over a segment directory (0 = 1)")
 	spillDir := flag.String("spill-dir", "",
 		"re-segment a monolithic dump into this directory first, then analyze the segments with bounded RAM")
 	segRecords := flag.Int("segment-records", 0, "records per segment when re-segmenting (0 = logstore default)")
@@ -66,6 +75,7 @@ func main() {
 		SkipCorrupt:   *skipCorrupt,
 		Shards:        *shards,
 		CacheSegments: *cacheSegments,
+		ScanWorkers:   *scanWorkers,
 	}
 	start := time.Now()
 	var s *logstore.Store
@@ -76,6 +86,7 @@ func main() {
 			Dir:            *spillDir,
 			SegmentRecords: *segRecords,
 			CacheSegments:  *cacheSegments,
+			ScanWorkers:    *scanWorkers,
 			Compress:       *segGzip,
 		}, opts)
 	} else {
@@ -147,6 +158,13 @@ func main() {
 	fmt.Printf("lifecycle: %d lures → %d creds → %d entered → %d exploited → %d claims → %d recovered\n\n",
 		lc.LuresDelivered, lc.CredentialsCaptured, lc.AccountsEntered,
 		lc.AccountsExploited, lc.ClaimsFiled, lc.AccountsRecovered)
+
+	if s.Segmented() {
+		// Machine-parseable: CI and bench.sh read this line.
+		cs := s.SegmentCacheStats()
+		fmt.Printf("segment-cache: hits=%d misses=%d prefetch-deduped=%d evictions=%d\n\n",
+			cs.Hits, cs.Misses, cs.PrefetchDeduped, cs.Evictions)
+	}
 
 	if *streaming {
 		if !runStreamParity(s, r) {

@@ -7,12 +7,16 @@
 //
 //	hijacksim [-seed N] [-pop N] [-days N] [-decoys N] [-events file.ndjson]
 //	          [-spill-dir d] [-segment-records N] [-segment-bytes N] [-segment-gzip]
+//	          [-spill-writers N] [-scan-workers N]
 //	          [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -spill-dir builds the log as spill-to-disk segments: peak RAM is
 // bounded by the segment size instead of the world size, and the segment
 // directory itself is the dump — `analyze -events <dir>` opens it as a
-// virtual store, no separate -events pass needed.
+// virtual store, no separate -events pass needed. -spill-writers sizes
+// the background encode/write pool that seals segments off the simulation
+// hot path; -scan-workers sets the decode-ahead depth of any post-run
+// reads (the -events re-dump, KindCounts).
 //
 // The profiling flags capture pprof CPU/heap profiles and a runtime trace
 // of the whole run for `go tool pprof` / `go tool trace` — the world
@@ -43,6 +47,8 @@ func main() {
 	segRecords := flag.Int("segment-records", 0, "records per spilled segment (0 = logstore default)")
 	segBytes := flag.Int64("segment-bytes", 0, "additionally seal segments at this encoded byte size (0 = off)")
 	segGzip := flag.Bool("segment-gzip", false, "gzip spilled segment files")
+	spillWriters := flag.Int("spill-writers", 0, "background segment encode/write goroutines (0 = 1)")
+	scanWorkers := flag.Int("scan-workers", 0, "segments decoded ahead during post-run reads (0 = 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -66,6 +72,8 @@ func main() {
 			SegmentRecords: *segRecords,
 			SegmentBytes:   *segBytes,
 			Compress:       *segGzip,
+			Writers:        *spillWriters,
+			ScanWorkers:    *scanWorkers,
 		}
 	}
 

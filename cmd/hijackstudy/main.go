@@ -7,19 +7,26 @@
 //
 //	hijackstudy [-seed N] [-scale F] [-par N] [-spill-dir d]
 //	            [-segment-records N] [-segment-bytes N] [-segment-gzip]
+//	            [-spill-writers N] [-scan-workers N]
 //	            [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -scale shrinks populations and phishing volume for quick runs (0.2 runs
-// in well under a minute; 1.0 is the full study). -par bounds the study
-// engine's worker pool (0 = GOMAXPROCS, 1 = sequential); the report is
-// byte-identical for a fixed seed at any setting.
+// in well under a minute; 1.0 is the full study; values above 1 grow the
+// worlds past the paper's scale for spill stress benchmarks — the report
+// prints but its published-value comparisons only make sense at <= 1).
+// -par bounds the study engine's worker pool (0 = GOMAXPROCS, 1 =
+// sequential); the report is byte-identical for a fixed seed at any
+// setting.
 //
 // -spill-dir runs every era world with a spill-to-disk segmented log (one
 // subdirectory per era) so peak RSS is bounded by the segment size
 // instead of the world size; the analyses run as a map-reduce over the
 // segment files and the report stays byte-identical to the monolithic
-// run. The footer reports the process's peak RSS either way, so the two
-// modes are directly comparable.
+// run. -spill-writers sizes the background segment encode/write pool and
+// -scan-workers the analysis scans' decode-ahead depth — both trade
+// goroutines for wall-clock without touching report bytes. The footer
+// reports the process's peak RSS either way, so the two modes are
+// directly comparable.
 //
 // The profiling flags capture pprof CPU/heap profiles and a runtime trace
 // of the whole run (study + report rendering) for `go tool pprof` /
@@ -47,13 +54,15 @@ func main() {
 	segRecords := flag.Int("segment-records", 0, "records per spilled segment (0 = logstore default)")
 	segBytes := flag.Int64("segment-bytes", 0, "additionally seal segments at this encoded byte size (0 = off)")
 	segGzip := flag.Bool("segment-gzip", false, "gzip spilled segment files")
+	spillWriters := flag.Int("spill-writers", 0, "background segment encode/write goroutines per world (0 = 1)")
+	scanWorkers := flag.Int("scan-workers", 0, "segments decoded ahead during analysis scans (0 = 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if *scale <= 0 || *scale > 1 {
-		fmt.Fprintln(os.Stderr, "hijackstudy: -scale must be in (0,1]")
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "hijackstudy: -scale must be > 0")
 		os.Exit(2)
 	}
 	if *par < 0 {
@@ -74,6 +83,8 @@ func main() {
 	sc.SegmentRecords = *segRecords
 	sc.SegmentBytes = *segBytes
 	sc.SpillGzip = *segGzip
+	sc.SpillWriters = *spillWriters
+	sc.ScanWorkers = *scanWorkers
 
 	start := time.Now()
 	r := core.RunStudy(sc)

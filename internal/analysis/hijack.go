@@ -72,6 +72,21 @@ func (b *Figure7Builder) Observe(e event.Event) {
 	}
 }
 
+// Merge folds a later partition's populations into b. Replaying other's
+// submissions in order through the same first-wins dedup reproduces the
+// sequential pass exactly: an account's earliest submission across
+// partitions claims the slot, later duplicates are dropped.
+func (b *Figure7Builder) Merge(other *Figure7Builder) {
+	for _, a := range other.accesses {
+		if _, dup := b.submitted[a.Account]; dup {
+			continue
+		}
+		b.submitted[a.Account] = len(b.accesses)
+		b.accesses = append(b.accesses, a)
+	}
+	b.logins = append(b.logins, other.logins...)
+}
+
 // Figure7 snapshots the figure from the populations observed so far.
 func (b *Figure7Builder) Figure7() Figure7 {
 	accesses := append([]datasets.DecoyAccess(nil), b.accesses...)
@@ -177,6 +192,31 @@ func (b *Figure8Builder) Observe(e event.Event) {
 	}
 }
 
+// Merge folds a later partition's aggregates into b. Every field is an
+// additive count or a set union keyed by IP-day, so partition order
+// cannot change the result.
+func (b *Figure8Builder) Merge(other *Figure8Builder) {
+	for k, n := range other.attempts {
+		b.attempts[k] += n
+	}
+	for k, set := range other.accounts {
+		dst := b.accounts[k]
+		if dst == nil {
+			dst = map[identity.AccountID]bool{}
+			b.accounts[k] = dst
+		}
+		for id := range set {
+			dst[id] = true
+		}
+	}
+	b.totalAttempts += other.totalAttempts
+	b.okPasswords += other.okPasswords
+	b.successes += other.successes
+	for d, n := range other.daySuccess {
+		b.daySuccess[d] += n
+	}
+}
+
 // Figure8 snapshots the figure from the aggregates observed so far.
 func (b *Figure8Builder) Figure8() Figure8 {
 	var fig Figure8
@@ -259,6 +299,11 @@ func (b *Table3Builder) Observe(e event.Event) {
 	}
 }
 
+// Merge folds a later partition's term counts into b.
+func (b *Table3Builder) Merge(other *Table3Builder) {
+	b.terms.Merge(&other.terms)
+}
+
 // Table3 snapshots the table from the terms observed so far.
 func (b *Table3Builder) Table3() Table3 {
 	c := &b.terms
@@ -332,6 +377,22 @@ func (d *d7Cases) observe(e event.Event) {
 	d.ids = append(d.ids, h.Account)
 }
 
+// merge appends other's cases that b has not seen, preserving other's
+// order. Concatenating partitions in log order through the same dedup
+// reproduces the sequential first-HijackStarted order exactly.
+func (d *d7Cases) merge(other *d7Cases) {
+	for _, id := range other.ids {
+		if d.seen[id] {
+			continue
+		}
+		if d.seen == nil {
+			d.seen = map[identity.AccountID]bool{}
+		}
+		d.seen[id] = true
+		d.ids = append(d.ids, id)
+	}
+}
+
 // sample draws Dataset 7's deterministic sample as a membership set.
 func (d *d7Cases) sample(n int) map[identity.AccountID]bool {
 	inSet := map[identity.AccountID]bool{}
@@ -367,6 +428,14 @@ func (b *AssessmentBuilder) Observe(e event.Event) {
 			b.opens = append(b.opens, ev)
 		}
 	}
+}
+
+// Merge folds a later partition's buffered populations into b: the case
+// dedup replays in order, the event buffers concatenate.
+func (b *AssessmentBuilder) Merge(other *AssessmentBuilder) {
+	b.cases.merge(&other.cases)
+	b.assessed = append(b.assessed, other.assessed...)
+	b.opens = append(b.opens, other.opens...)
 }
 
 // Assessment snapshots the §5.2 measurements observed so far.
@@ -431,15 +500,75 @@ type Exploitation struct {
 	Cases                int
 }
 
-// ComputeExploitation reproduces §5.3 from Datasets 7 and 8.
+// ComputeExploitation reproduces §5.3 from Datasets 7 and 8. It scans the
+// log through the incremental builder so the batch and segmented paths
+// share one implementation.
 func ComputeExploitation(s *logstore.Store, sampleSize int) Exploitation {
-	accounts := datasets.D7HijackedAccounts(s, sampleSize)
+	b := NewExploitationBuilder()
+	s.Scan(b.Observe)
+	return b.Exploitation(sampleSize)
+}
+
+// ExploitationBuilder is the incremental form of ComputeExploitation. The
+// §5.3 join needs the Dataset 7 sample — only drawable once the full case
+// population is known — so the builder buffers the three event
+// subsequences the join reads (hijack starts, account-originated mail,
+// account-attributed spam reports) and replays the batch aggregation at
+// snapshot time. The buffers grow with attack-plus-account mail volume,
+// the same populations the batch path materialized via Select.
+type ExploitationBuilder struct {
+	starts  []event.HijackStarted
+	msgs    []event.MessageSent
+	reports []event.SpamReported
+}
+
+// NewExploitationBuilder returns an empty builder.
+func NewExploitationBuilder() *ExploitationBuilder { return &ExploitationBuilder{} }
+
+// Observe folds one event into the buffered populations, applying the
+// account-attribution filter the batch loops applied.
+func (b *ExploitationBuilder) Observe(e event.Event) {
+	switch ev := e.(type) {
+	case event.HijackStarted:
+		b.starts = append(b.starts, ev)
+	case event.MessageSent:
+		if ev.FromAcct != identity.None {
+			b.msgs = append(b.msgs, ev)
+		}
+	case event.SpamReported:
+		if ev.FromAcct != identity.None {
+			b.reports = append(b.reports, ev)
+		}
+	}
+}
+
+// Merge folds a later partition's buffers into b by concatenation.
+func (b *ExploitationBuilder) Merge(other *ExploitationBuilder) {
+	b.starts = append(b.starts, other.starts...)
+	b.msgs = append(b.msgs, other.msgs...)
+	b.reports = append(b.reports, other.reports...)
+}
+
+// Exploitation snapshots §5.3 from the populations observed so far,
+// drawing Dataset 7's deterministic sample over the distinct hijacked
+// accounts in first-HijackStarted order — exactly D7HijackedAccounts'
+// population.
+func (b *ExploitationBuilder) Exploitation(sampleSize int) Exploitation {
+	seen := map[identity.AccountID]bool{}
+	var ids []identity.AccountID
+	for _, h := range b.starts {
+		if !seen[h.Account] {
+			seen[h.Account] = true
+			ids = append(ids, h.Account)
+		}
+	}
+	accounts := datasets.SampleN(7, ids, sampleSize)
 	inSet := map[identity.AccountID]bool{}
 	for _, a := range accounts {
 		inSet[a] = true
 	}
 	hijackDay := map[identity.AccountID]time.Time{}
-	for _, h := range logstore.Select[event.HijackStarted](s) {
+	for _, h := range b.starts {
 		if inSet[h.Account] {
 			if _, ok := hijackDay[h.Account]; !ok {
 				hijackDay[h.Account] = h.When().Truncate(24 * time.Hour)
@@ -469,8 +598,8 @@ func ComputeExploitation(s *logstore.Store, sampleSize int) Exploitation {
 	msgsPerCase := map[identity.AccountID]int{}
 	smallCase := map[identity.AccountID]bool{}
 	customizedSmall := map[identity.AccountID]bool{}
-	for _, m := range logstore.Select[event.MessageSent](s) {
-		if m.FromAcct == identity.None || !inSet[m.FromAcct] {
+	for _, m := range b.msgs {
+		if !inSet[m.FromAcct] {
 			continue
 		}
 		day := m.When().Truncate(24 * time.Hour)
@@ -496,8 +625,8 @@ func ComputeExploitation(s *logstore.Store, sampleSize int) Exploitation {
 			}
 		}
 	}
-	for _, r := range logstore.Select[event.SpamReported](s) {
-		if r.FromAcct == identity.None || !inSet[r.FromAcct] {
+	for _, r := range b.reports {
+		if !inSet[r.FromAcct] {
 			continue
 		}
 		// Attribute the report to the day the message was sent; sending
@@ -605,6 +734,11 @@ func (b *ContactRiskBuilder) Observe(e event.Event) {
 	if h, ok := e.(event.HijackStarted); ok {
 		b.starts = append(b.starts, h)
 	}
+}
+
+// Merge folds a later partition's hijack timeline into b.
+func (b *ContactRiskBuilder) Merge(other *ContactRiskBuilder) {
+	b.starts = append(b.starts, other.starts...)
 }
 
 // ContactRisk snapshots the cohort experiment from the hijacks observed so
@@ -763,6 +897,25 @@ func (b *RetentionBuilder) Observe(e event.Event) {
 		if ev.Actor == event.ActorHijacker {
 			b.twoSV[ev.Account]++
 		}
+	}
+}
+
+// Merge folds a later partition's tactic state into b: the case dedup
+// replays in order, the per-account sets union, the 2SV counts add.
+func (b *RetentionBuilder) Merge(other *RetentionBuilder) {
+	b.cases.merge(&other.cases)
+	for _, pair := range [][2]map[identity.AccountID]bool{
+		{b.exploited, other.exploited}, {b.lockouts, other.lockouts},
+		{b.filters, other.filters}, {b.replyTos, other.replyTos},
+		{b.deletes, other.deletes}, {b.recovs, other.recovs},
+	} {
+		dst, src := pair[0], pair[1]
+		for a := range src {
+			dst[a] = true
+		}
+	}
+	for a, n := range other.twoSV {
+		b.twoSV[a] += n
 	}
 }
 

@@ -37,8 +37,10 @@ func ComputeMonetization(s *logstore.Store) Monetization {
 
 // MonetizationBuilder is the incremental form of ComputeMonetization:
 // funnel counters, the payment distribution, and the exploited-victim set.
-// Payments arrive in log order — the order the batch loop adds them — so
-// the floating-point revenue sum is reproduced exactly.
+// Revenue is summed at snapshot time as a left fold over the payment
+// sample, which keeps payments in log order — so the floating-point
+// revenue total is bit-identical whether the builder observed the whole
+// log or was merged from per-segment shards.
 type MonetizationBuilder struct {
 	out       Monetization
 	routes    stats.Counter
@@ -66,7 +68,6 @@ func (b *MonetizationBuilder) Observe(e event.Event) {
 		}
 	case event.MoneyWired:
 		b.out.Payments++
-		b.out.Revenue += ev.Amount
 		b.payments.Add(ev.Amount)
 	case event.HijackAssessed:
 		if ev.Exploited {
@@ -75,9 +76,24 @@ func (b *MonetizationBuilder) Observe(e event.Event) {
 	}
 }
 
+// Merge folds a later partition's funnel into b: counters add, routes and
+// payments merge in partition order, the exploited set unions.
+func (b *MonetizationBuilder) Merge(other *MonetizationBuilder) {
+	b.out.PleaRecipients += other.out.PleaRecipients
+	b.out.Replies += other.out.Replies
+	b.out.ReachedCrew += other.out.ReachedCrew
+	b.out.Payments += other.out.Payments
+	b.routes.Merge(&other.routes)
+	b.payments.Merge(&other.payments)
+	for a := range other.exploited {
+		b.exploited[a] = true
+	}
+}
+
 // Monetization snapshots the funnel observed so far.
 func (b *MonetizationBuilder) Monetization() Monetization {
 	out := b.out
+	out.Revenue = b.payments.Sum()
 	out.ReplyRoutes = b.routes.Sorted()
 	out.MeanPayment = b.payments.Mean()
 	out.RevenuePerHijack = 0

@@ -41,15 +41,18 @@ func URLShare(s *logstore.Store, sampleSize int) float64 {
 }
 
 // PhishSampleBuilder accumulates Datasets 1 and 2 incrementally: the
-// curated reported-lure stream and the detected-page join. A page is
-// always created before its lures, hits, and detection (the simulation
-// emits them causally), so the single pass reproduces the batch
-// extractors' two-pass joins exactly.
+// curated reported-lure stream and the detected-page join. Lures and
+// detections are buffered raw and resolved against the page maps at
+// snapshot time; a page is always created before its lures, hits, and
+// detection (the simulation emits them causally), so the deferred join
+// equals the batch extractors' two-pass joins — and, because every buffer
+// is order-preserving and the maps are keyed by page, per-segment shards
+// merged in log order reproduce the single pass exactly.
 type PhishSampleBuilder struct {
-	targeted map[event.PageID]bool
-	reported []event.LureSent
-	created  map[event.PageID]event.PageCreated
-	detected []event.PageCreated
+	targeted   map[event.PageID]bool
+	created    map[event.PageID]event.PageCreated
+	lures      []event.LureSent // reported lures, targeting unresolved
+	detections []event.PageID   // detection order
 }
 
 // NewPhishSampleBuilder returns an empty builder.
@@ -70,21 +73,50 @@ func (b *PhishSampleBuilder) Observe(e event.Event) {
 			b.created[ev.Page] = ev
 		}
 	case event.LureSent:
-		if ev.Reported && !b.targeted[ev.Page] {
-			b.reported = append(b.reported, ev)
+		if ev.Reported {
+			b.lures = append(b.lures, ev)
 		}
 	case event.PageDetected:
-		if c, ok := b.created[ev.Page]; ok {
-			b.detected = append(b.detected, c)
+		b.detections = append(b.detections, ev.Page)
+	}
+}
+
+// Merge folds a later partition's populations into b: page maps union
+// (page IDs are unique, so there are no collisions to order), buffers
+// concatenate.
+func (b *PhishSampleBuilder) Merge(other *PhishSampleBuilder) {
+	for p := range other.targeted {
+		b.targeted[p] = true
+	}
+	for p, c := range other.created {
+		b.created[p] = c
+	}
+	b.lures = append(b.lures, other.lures...)
+	b.detections = append(b.detections, other.detections...)
+}
+
+// resolve runs the deferred joins: reported lures excluding
+// contact-targeted pages, and detections of tracked (untargeted) pages.
+func (b *PhishSampleBuilder) resolve() (reported []event.LureSent, detected []event.PageCreated) {
+	for _, l := range b.lures {
+		if !b.targeted[l.Page] {
+			reported = append(reported, l)
 		}
 	}
+	for _, p := range b.detections {
+		if c, ok := b.created[p]; ok {
+			detected = append(detected, c)
+		}
+	}
+	return reported, detected
 }
 
 // Table2 snapshots Table 2 from the populations observed so far, drawing
 // the same deterministic samples the batch extractors draw.
 func (b *PhishSampleBuilder) Table2(sampleSize int) Table2 {
-	emails := datasets.SampleN(1, b.reported, sampleSize)
-	pages := datasets.SampleN(2, b.detected, sampleSize)
+	reported, detected := b.resolve()
+	emails := datasets.SampleN(1, reported, sampleSize)
+	pages := datasets.SampleN(2, detected, sampleSize)
 
 	var ec, pc stats.Counter
 	for _, e := range emails {
@@ -109,7 +141,8 @@ func (b *PhishSampleBuilder) Table2(sampleSize int) Table2 {
 
 // URLShare snapshots the Dataset 1 URL share observed so far.
 func (b *PhishSampleBuilder) URLShare(sampleSize int) float64 {
-	emails := datasets.SampleN(1, b.reported, sampleSize)
+	reported, _ := b.resolve()
+	emails := datasets.SampleN(1, reported, sampleSize)
 	withURL := 0
 	for _, e := range emails {
 		if e.HasURL {

@@ -1,0 +1,203 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"manualhijack/internal/identity"
+)
+
+// encodeJSONLine reproduces the logstore envelope path exactly:
+// json.Marshal of the record, wrapped by a json.Encoder (which appends
+// the newline and HTML-escapes, matching writeSegmentFile/WriteNDJSON).
+func encodeJSONLine(t *testing.T, e Event) []byte {
+	t.Helper()
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", e, err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	env := struct {
+		Kind Kind            `json:"kind"`
+		Data json.RawMessage `json:"data"`
+	}{e.EventKind(), data}
+	if err := enc.Encode(env); err != nil {
+		t.Fatalf("encode envelope %T: %v", e, err)
+	}
+	return buf.Bytes()
+}
+
+// decodeJSONLine reproduces logstore's decodeLine via the registry.
+func decodeJSONLine(t *testing.T, line []byte) Event {
+	t.Helper()
+	var env struct {
+		Kind Kind            `json:"kind"`
+		Data json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(line, &env); err != nil {
+		t.Fatalf("unmarshal envelope: %v", err)
+	}
+	e, err := Decode(env.Kind, env.Data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", env.Kind, err)
+	}
+	return e
+}
+
+// fastCodecSamples exercises every kind with adversarial field values:
+// HTML-escaped characters, JSON escapes, U+2028/U+2029, invalid UTF-8,
+// floats in both encoding/json formats, zero and nanosecond times, zero
+// and v4/v6 addresses, nil/empty/multi recipient slices.
+func fastCodecSamples() []Event {
+	at := time.Date(2012, 11, 2, 9, 30, 15, 123456789, time.UTC)
+	coarse := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	micro := time.Date(2011, 7, 4, 23, 59, 59, 500000, time.UTC)
+	nasty := "a<b>&\"c\\d\ne\tf g h\x01i\x7fjé\U0001F600"
+	bad := "ok\xffbad"
+	v4 := netip.MustParseAddr("203.0.113.7")
+	v6 := netip.MustParseAddr("2001:db8::8a2e:370:7334")
+	return []Event{
+		Login{Base{at}, 42, v4, "dev-1", true, LoginSuccess, false, 0.73, 9001, ActorOwner},
+		Login{Base{micro}, -1, v6, nasty, false, LoginBlocked, true, 1e-7, 0, ActorHijacker},
+		Login{Base{coarse}, 0, netip.Addr{}, "", false, LoginWrongPassword, false, 0, -3, ActorSystem},
+		Login{Base{at}, 7, v4, bad, true, LoginChallengeFailed, true, math.MaxFloat64, 1, ActorOwner},
+		Login{Base{at}, 7, v4, "x", true, LoginSuccess, true, math.SmallestNonzeroFloat64, 1, ActorOwner},
+		PasswordChanged{Base{at}, 42, 9001, ActorHijacker},
+		RecoveryChanged{Base{micro}, 42, "phone", 9001, ActorOwner},
+		RecoveryChanged{Base{at}, 1, nasty, 2, ActorSystem},
+		TwoSVEnrolled{Base{at}, 42, "+1-555-0100", 9001, ActorOwner},
+		MessageSent{Base{at}, 77, "a@x.test", 42, []identity.Address{"b@x.test", identity.Address(nasty + "@y")}, ClassScam, true, "dg@z.test", 5, 9001, ActorHijacker},
+		MessageSent{Base{coarse}, 78, "", identity.None, nil, ClassOrganic, false, "", 0, 0, ActorOwner},
+		MessageSent{Base{at}, 79, "c@x.test", 3, []identity.Address{}, ClassLure, false, "", 12, 4, ActorSystem},
+		Search{Base{at}, 42, "bank <stmt> & \"wire\"", 9001, ActorHijacker},
+		FolderOpened{Base{at}, 42, FolderSpam, 9001, ActorHijacker},
+		ContactsViewed{Base{at}, 42, 9001, ActorHijacker},
+		FilterCreated{Base{at}, 42, "fwd@evil.test", 9001, ActorHijacker},
+		FilterCreated{Base{at}, 43, "", 9002, ActorOwner},
+		ReplyToSet{Base{at}, 42, "doppel@evil.test", 9001, ActorHijacker},
+		MassDeletion{Base{at}, 42, 317, 9001, ActorHijacker},
+		SpamReported{Base{at}, 8, 77, "a@x.test", 42, ClassScam},
+		PageCreated{Base{at}, 5, TargetMail, 0.8251, true, false},
+		PageCreated{Base{micro}, 6, TargetBank, 1e21, false, true},
+		PageHit{Base{at}, 5, "POST", "http://r.test/?a=1&b=<2>", "v@x.test", v6},
+		PageHit{Base{at}, 5, "GET", "", "", netip.Addr{}},
+		PageDetected{Base{at}, 5},
+		PageTakedown{Base{at}, 5},
+		LureSent{Base{at}, 31337, 5, "v@x.test", TargetAppStore, true, false},
+		LureSent{Base{coarse}, -2, 0, identity.Address(nasty + "@v"), TargetOther, false, true},
+		CredentialPhished{Base{at}, 42, 5, true},
+		HijackStarted{Base{at}, 42, "crew-7", 9001},
+		HijackAssessed{Base{at}, 42, "crew-7", 3*time.Minute + 17*time.Second, true},
+		HijackAssessed{Base{at}, 42, nasty, -time.Nanosecond, false},
+		HijackEnded{Base{at}, 42, "crew-7", true},
+		ScamReply{Base{at}, 42, 8, true, "replyto"},
+		MoneyWired{Base{at}, 42, 8, "crew-7", 1273.50},
+		MoneyWired{Base{at}, 42, 8, "", 0.000001},
+		NotificationSent{Base{at}, 42, ChannelSMS, "new-device <login> & risk"},
+		ClaimFiled{Base{at}, 42, "lockout", micro, ActorOwner},
+		ClaimFiled{Base{at}, 42, "fraud", time.Time{}, ActorHijacker},
+		ClaimAttempt{Base{at}, 42, MethodSMS, false, "gateway", ActorOwner},
+		ClaimResolved{Base{at}, 42, true, MethodEmail, micro, coarse, ActorOwner},
+		ClaimResolved{Base{at}, 42, false, "", time.Time{}, time.Time{}, ActorHijacker},
+		Remission{Base{at}, 42, 204, true},
+	}
+}
+
+// TestFastCodecMatchesEncodingJSON pins the fast path to the
+// encoding/json path in both directions: encode byte-identical, decode
+// DeepEqual, and round-trips through either decoder agree.
+func TestFastCodecMatchesEncodingJSON(t *testing.T) {
+	for _, e := range fastCodecSamples() {
+		want := encodeJSONLine(t, e)
+		got, ok := AppendLine(nil, e)
+		if !ok {
+			t.Fatalf("%T: AppendLine refused %+v", e, e)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%T encode mismatch:\nfast: %s\njson: %s", e, got, want)
+			continue
+		}
+		line := bytes.TrimSuffix(want, []byte("\n"))
+		fast, ok := DecodeLineFast(line)
+		if !ok {
+			t.Fatalf("%T: DecodeLineFast refused canonical line %s", e, line)
+		}
+		slow := decodeJSONLine(t, line)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("%T decode mismatch:\nfast: %#v\njson: %#v", e, fast, slow)
+		}
+	}
+}
+
+// TestFastCodecAppendsToPrefix pins the append contract: AppendLine
+// extends dst in place and leaves it untouched on refusal.
+func TestFastCodecAppendsToPrefix(t *testing.T) {
+	prefix := []byte("prefix|")
+	e := PageDetected{Base{time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)}, 5}
+	out, ok := AppendLine(append([]byte(nil), prefix...), e)
+	if !ok || !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("AppendLine lost prefix: ok=%v out=%s", ok, out)
+	}
+	bad := Login{Base: Base{time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)}, RiskScore: math.NaN()}
+	out, ok = AppendLine(append([]byte(nil), prefix...), bad)
+	if ok {
+		t.Fatal("AppendLine accepted NaN RiskScore")
+	}
+	if !bytes.Equal(out, prefix) {
+		t.Fatalf("refused AppendLine altered dst: %q", out)
+	}
+}
+
+// TestFastDecodeFallsBackOnSurprises pins the bail-out contract: any
+// deviation from the canonical encoder's output must return ok=false so
+// the encoding/json fallback owns the semantics.
+func TestFastDecodeFallsBackOnSurprises(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"kind":"auth.login"}`,
+		`{"kind":"no.such_kind","data":{"Time":"2012-01-01T00:00:00Z"}}`,
+		// Reordered keys (valid JSON; json.Unmarshal would accept).
+		`{"data":{"Time":"2012-01-01T00:00:00Z","Page":5},"kind":"phish.page_detected"}`,
+		// Reordered fields inside data.
+		`{"kind":"phish.page_detected","data":{"Page":5,"Time":"2012-01-01T00:00:00Z"}}`,
+		// Unknown extra field (json.Unmarshal ignores; we must fall back).
+		`{"kind":"phish.page_detected","data":{"Time":"2012-01-01T00:00:00Z","Page":5,"X":1}}`,
+		// Missing field.
+		`{"kind":"phish.page_detected","data":{"Time":"2012-01-01T00:00:00Z"}}`,
+		// Escape in the kind string (decodes to a registered kind, but the
+		// fast path must not unescape kinds).
+		`{"kind":"phish.page\u005fdetected","data":{"Time":"2012-01-01T00:00:00Z","Page":5}}`,
+		// Trailing garbage.
+		`{"kind":"phish.page_detected","data":{"Time":"2012-01-01T00:00:00Z","Page":5}} x`,
+		// Malformed number / string / bool.
+		`{"kind":"phish.page_detected","data":{"Time":"2012-01-01T00:00:00Z","Page":5.x}}`,
+		`{"kind":"phish.page_detected","data":{"Time":"not-a-time","Page":5}}`,
+		`{"kind":"phish.credential_phished","data":{"Time":"2012-01-01T00:00:00Z","Account":1,"Page":5,"Decoy":maybe}}`,
+	}
+	for _, c := range cases {
+		if e, ok := DecodeLineFast([]byte(c)); ok {
+			t.Errorf("DecodeLineFast accepted %q → %#v", c, e)
+		}
+	}
+}
+
+// TestFastCodecCoversAllKinds forces a codec update (not a silent
+// fallback) whenever a kind is added to the registry.
+func TestFastCodecCoversAllKinds(t *testing.T) {
+	covered := map[Kind]bool{}
+	for _, e := range fastCodecSamples() {
+		covered[e.EventKind()] = true
+	}
+	for _, k := range RegisteredKinds() {
+		if !covered[k] {
+			t.Errorf("no fast-codec sample for kind %s — add one and a codec_fast.go case", k)
+		}
+	}
+}

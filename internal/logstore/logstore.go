@@ -121,12 +121,18 @@ func (s *Store) Append(e event.Event) {
 	if s.tap != nil {
 		s.tap(e)
 	}
-	if sp := s.spill; sp != nil && sp.shouldSeal(len(s.events)) {
+	if sp := s.spill; sp != nil {
 		// Spill failures poison the log (a segment gap would corrupt
 		// every analysis), so they surface like the other invariant
-		// violations on this path.
-		if err := s.spillActive(); err != nil {
-			panic("logstore: spill: " + err.Error())
+		// violations on this path — at the next append after a writer
+		// reports, not segments later.
+		if sp.failed.Load() {
+			panic("logstore: spill: " + sp.firstErr().Error())
+		}
+		if sp.shouldSeal(len(s.events)) {
+			if err := s.spillActive(); err != nil {
+				panic("logstore: spill: " + err.Error())
+			}
 		}
 	}
 }
@@ -224,6 +230,24 @@ func (s *Store) Scan(fn func(event.Event)) {
 	for _, e := range s.events {
 		fn(e)
 	}
+}
+
+// ScanSegments calls fn once per storage unit, in log order, with the
+// unit's index and decoded records — segments for a segmented store
+// (decode-ahead applies, like Scan), or the whole log as unit 0 for an
+// in-RAM store. Callers must treat the slice as read-only and not retain
+// it past the callback: a segmented store recycles it through the cache.
+// This is the hook for per-segment parallel reduction — fold each
+// delivered unit into a shard, merge shards in unit order.
+func (s *Store) ScanSegments(fn func(seg int, events []event.Event)) {
+	if sp := s.spill; sp != nil {
+		if !s.sealed.Load() {
+			panic("logstore: ScanSegments on a spilling store before Seal")
+		}
+		sp.scanSegments(fn)
+		return
+	}
+	fn(0, s.events)
 }
 
 // snapshot returns the current record slice. Callers must treat it as
@@ -478,12 +502,20 @@ func CountBy[K comparable](s *Store, key func(event.Event) (K, bool)) map[K]int 
 // the kind index in O(kinds); an unsealed one scans.
 func (s *Store) KindCounts() map[event.Kind]int {
 	if sp := s.spill; sp != nil {
-		// Answered from the per-segment manifest tallies plus the active
-		// segment — no disk reads. Correct in both phases (build-phase
-		// calls follow the single-writer contract like everything else).
+		// No disk reads in either phase. Sealed stores answer from the
+		// per-segment manifest tallies; a still-building store sums the
+		// running tally of everything handed to the writer pool (which
+		// may not have finished writing) plus the active segment.
+		// Build-phase calls follow the single-writer contract.
 		out := make(map[event.Kind]int, 32)
-		for _, seg := range sp.segs {
-			for k, n := range seg.Kinds {
+		if sp.finished {
+			for _, seg := range sp.segs {
+				for k, n := range seg.Kinds {
+					out[k] += n
+				}
+			}
+		} else {
+			for k, n := range sp.buildKinds {
 				out[k] += n
 			}
 		}

@@ -86,12 +86,13 @@ func WriteNDJSONMeta(w io.Writer, s *Store, m Meta) error {
 	}); err != nil {
 		return err
 	}
+	ew := &envelopeWriter{w: bw, enc: enc}
 	var err error
 	s.Scan(func(e event.Event) {
 		if err != nil {
 			return
 		}
-		err = encodeEnvelope(enc, e)
+		err = ew.writeEvent(e)
 	})
 	if err != nil {
 		return err
@@ -99,13 +100,33 @@ func WriteNDJSONMeta(w io.Writer, s *Store, m Meta) error {
 	return bw.Flush()
 }
 
-// encodeEnvelope writes one record line in the dump wire format.
-func encodeEnvelope(enc *json.Encoder, e event.Event) error {
+// envelopeWriter writes record lines in the dump wire format. The fast
+// per-kind codec handles every registered value type; anything it
+// declines (unregistered type, non-finite float) goes through the
+// encoding/json path, which produces the same bytes — the fast path is a
+// byte-identical shortcut, pinned by TestFastCodecMatchesEncodingJSON
+// and TestNDJSONRewriteByteIdentical.
+type envelopeWriter struct {
+	w       io.Writer
+	enc     *json.Encoder
+	scratch []byte
+}
+
+func newEnvelopeWriter(w io.Writer) *envelopeWriter {
+	return &envelopeWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+func (ew *envelopeWriter) writeEvent(e event.Event) error {
+	if out, ok := event.AppendLine(ew.scratch[:0], e); ok {
+		ew.scratch = out[:0]
+		_, err := ew.w.Write(out)
+		return err
+	}
 	data, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
-	return enc.Encode(envelope{Kind: e.EventKind(), Data: data})
+	return ew.enc.Encode(envelope{Kind: e.EventKind(), Data: data})
 }
 
 // WriteNDJSONFile dumps s to path, gzip-compressing when the name ends in
@@ -151,6 +172,10 @@ type ReadOptions struct {
 	// keeps in RAM when the input is a segment directory (0 means
 	// DefaultCacheSegments). Ignored for monolithic dumps.
 	CacheSegments int
+	// ScanWorkers sets the returned store's ordered-scan decode-ahead
+	// window when the input is a segment directory (0 means 1). Ignored
+	// for monolithic dumps.
+	ScanWorkers int
 }
 
 // ReadStats reports what a load actually ingested.
@@ -274,6 +299,12 @@ func (b *lineBatch) decode(skipCorrupt bool, minFailed *atomic.Int64) {
 }
 
 func decodeLine(data []byte) (event.Event, error) {
+	// Canonical lines take the hand-rolled path; any shape surprise —
+	// foreign writer, legacy dump, corruption — falls back to
+	// encoding/json, which owns the error semantics.
+	if e, ok := event.DecodeLineFast(data); ok {
+		return e, nil
+	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, err

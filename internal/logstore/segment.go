@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manualhijack/internal/event"
@@ -65,11 +66,26 @@ type SpillConfig struct {
 	// SegmentRecords alone.
 	SegmentBytes int64
 	// CacheSegments bounds decoded sealed segments kept in RAM for reads
-	// after Seal (<= 0 means DefaultCacheSegments).
+	// after Seal (<= 0 means DefaultCacheSegments). Ordered scans may
+	// hold up to ScanWorkers+1 segments regardless, so the decode-ahead
+	// window never thrashes its own prefetches.
 	CacheSegments int
-	// Compress gzips segment files (BestSpeed — the build phase pays the
-	// encode cost inline).
+	// Writers sizes the background encode/write pool that seals segments
+	// off the append path (<= 0 means 1). The append goroutine only
+	// hands the filled segment over and keeps simulating; writers absorb
+	// the JSON encode, compression, and disk I/O.
+	Writers int
+	// Compress gzips segment files.
 	Compress bool
+	// GzipLevel is the compression level when Compress is set (0 means
+	// gzip.BestSpeed — the spill path favors throughput; archival dumps
+	// via WriteNDJSONFile keep gzip.DefaultCompression).
+	GzipLevel int
+	// ScanWorkers sets how many segments an ordered scan decodes ahead
+	// of the one being folded (<= 0 means 1, the classic
+	// prefetch-next). Delivery order is unaffected — builders always
+	// see segments in log order — only the decode overlaps.
+	ScanWorkers int
 	// Meta is the world-level metadata (observation window, seed) written
 	// to the manifest, exactly like a monolithic dump header.
 	Meta Meta
@@ -96,23 +112,90 @@ type manifest struct {
 }
 
 // spillState is the segmented half of a Store. During the build phase it
-// tracks spilled segments and the byte-size estimate; after Seal the cache
-// serves every read.
+// tracks segments handed to the writer pool and the byte-size estimate;
+// after Seal the cache serves every read.
 type spillState struct {
 	cfg SpillConfig
-	// segs lists sealed, spilled segments in time order.
+	// segs lists sealed, spilled segments in time order. During an async
+	// build it is empty; finishSpill assembles it from results after the
+	// pipeline drains.
 	segs []segmentInfo
-	// spilled is the total record count across segs.
+	// spilled is the total record count handed to the pipeline.
 	spilled int
+	// seq numbers the next segment (0-based).
+	seq int
+	// buildKinds is the running kind tally of everything handed to the
+	// pipeline, so build-phase KindCounts does not depend on which
+	// segments the writers have finished.
+	buildKinds map[event.Kind]int
 	// encBytes/encRecords accumulate measured pre-compression encode
-	// sizes, driving the SegmentBytes estimate.
-	encBytes   int64
-	encRecords int64
+	// sizes, driving the SegmentBytes estimate. Atomics: writers add,
+	// the append goroutine reads in shouldSeal. The estimate lags the
+	// pipeline by however many segments are in flight, which only makes
+	// byte-based sealing more conservative during ramp-up.
+	encBytes   atomic.Int64
+	encRecords atomic.Int64
+
+	// Writer pool, started lazily at the first segment seal. work is the
+	// bounded handoff (cap = pool size — the append goroutine blocks
+	// rather than letting unwritten segments pile up in RAM); free
+	// recycles cleared backing arrays so steady-state appends never
+	// allocate a segment.
+	work chan spillJob
+	free chan []event.Event
+	wg   sync.WaitGroup
+
+	// resMu guards results: seq → outcome, consumed by finishSpill.
+	resMu   sync.Mutex
+	results map[int]spillResult
+
+	// failed flips on the first write error; Append checks it so the
+	// error surfaces at the next append, not segments later. firstErr
+	// keeps the lowest-index error (workers may fail out of order).
+	failed  atomic.Bool
+	werrMu  sync.Mutex
+	werr    error
+	werrSeq int
+
 	// finished flips when Seal writes the manifest; from then on reads go
 	// through the cache. Published by Seal's release-store like the rest
 	// of the sealed state.
 	finished bool
 	cache    *segCache
+}
+
+// spillJob is one filled segment in flight to the writer pool. The
+// events slice is owned by the worker until it lands on free.
+type spillJob struct {
+	seq    int
+	events []event.Event
+	info   segmentInfo
+}
+
+// spillResult is one worker's outcome, keyed by segment sequence.
+type spillResult struct {
+	info segmentInfo
+	err  error
+}
+
+// recordErr notes a segment write failure, keeping the lowest-index one.
+func (sp *spillState) recordErr(seq int, err error) {
+	sp.werrMu.Lock()
+	if sp.werr == nil || seq < sp.werrSeq {
+		sp.werr, sp.werrSeq = err, seq
+	}
+	sp.werrMu.Unlock()
+	sp.failed.Store(true)
+}
+
+// firstErr returns the lowest-index segment write error, if any.
+func (sp *spillState) firstErr() error {
+	if !sp.failed.Load() {
+		return nil
+	}
+	sp.werrMu.Lock()
+	defer sp.werrMu.Unlock()
+	return sp.werr
 }
 
 // EnableSpill switches an empty, unsealed store into segmented
@@ -138,10 +221,22 @@ func (s *Store) EnableSpill(cfg SpillConfig) error {
 	if cfg.CacheSegments <= 0 {
 		cfg.CacheSegments = DefaultCacheSegments
 	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 1
+	}
+	if cfg.ScanWorkers <= 0 {
+		cfg.ScanWorkers = 1
+	}
+	if cfg.GzipLevel == 0 {
+		cfg.GzipLevel = gzip.BestSpeed
+	}
+	if cfg.GzipLevel < gzip.HuffmanOnly || cfg.GzipLevel > gzip.BestCompression {
+		return fmt.Errorf("logstore: invalid gzip level %d", cfg.GzipLevel)
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return fmt.Errorf("logstore: spill dir: %w", err)
 	}
-	s.spill = &spillState{cfg: cfg}
+	s.spill = &spillState{cfg: cfg, buildKinds: make(map[event.Kind]int, 32)}
 	return nil
 }
 
@@ -167,25 +262,77 @@ func (sp *spillState) shouldSeal(active int) bool {
 	if active >= sp.cfg.SegmentRecords {
 		return true
 	}
-	if sp.cfg.SegmentBytes > 0 && sp.encRecords > 0 {
-		avg := sp.encBytes / sp.encRecords
-		if int64(active)*avg >= sp.cfg.SegmentBytes {
-			return true
+	if sp.cfg.SegmentBytes > 0 {
+		if recs := sp.encRecords.Load(); recs > 0 {
+			avg := sp.encBytes.Load() / recs
+			if int64(active)*avg >= sp.cfg.SegmentBytes {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// spillActive seals the active segment to disk and resets the in-RAM
-// slice, retaining its backing array so steady-state appends stay
-// allocation-free. No-op when the active segment is empty.
+// startWriters arms the background encode/write pool. Lazy: stores that
+// never fill a segment never spawn goroutines.
+func (sp *spillState) startWriters() {
+	w := sp.cfg.Writers
+	sp.work = make(chan spillJob, w)
+	// One array per in-flight job (queued + being written) plus the
+	// active segment can circulate; size free so a cleared array is
+	// never dropped and re-allocated.
+	sp.free = make(chan []event.Event, 2*w+2)
+	sp.results = make(map[int]spillResult, 64)
+	sp.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go sp.writeLoop()
+	}
+}
+
+func (sp *spillState) writeLoop() {
+	defer sp.wg.Done()
+	for job := range sp.work {
+		raw, err := writeSegmentFile(filepath.Join(sp.cfg.Dir, job.info.File), job.events, job.info, sp.cfg)
+		if err != nil {
+			err = fmt.Errorf("segment %s (index %d): %w", job.info.File, job.seq+1, err)
+			sp.recordErr(job.seq, err)
+		} else {
+			sp.encBytes.Add(raw)
+			sp.encRecords.Add(int64(job.info.Records))
+		}
+		sp.resMu.Lock()
+		sp.results[job.seq] = spillResult{info: job.info, err: err}
+		sp.resMu.Unlock()
+		// Recycle the backing array to the append goroutine. Cleared
+		// first so spilled records become collectable even while the
+		// array waits on the free list.
+		clearEvents(job.events)
+		select {
+		case sp.free <- job.events[:0]:
+		default:
+		}
+	}
+}
+
+// spillActive hands the filled active segment to the writer pool and
+// swaps in a recycled backing array, so the append goroutine pays only
+// the kind tally and the channel send — the JSON encode, compression,
+// and disk write happen on the pool. Blocks only when every writer is
+// busy and the queue is full (backpressure: unwritten segments must not
+// accumulate in RAM). No-op when the active segment is empty.
 func (s *Store) spillActive() error {
 	sp := s.spill
+	if err := sp.firstErr(); err != nil {
+		return err
+	}
 	n := len(s.events)
 	if n == 0 {
 		return nil
 	}
-	name := fmt.Sprintf("seg-%06d.ndjson", len(sp.segs)+1)
+	if sp.work == nil {
+		sp.startWriters()
+	}
+	name := fmt.Sprintf("seg-%06d.ndjson", sp.seq+1)
 	if sp.cfg.Compress {
 		name += ".gz"
 	}
@@ -198,17 +345,20 @@ func (s *Store) spillActive() error {
 	}
 	for _, e := range s.events {
 		info.Kinds[e.EventKind()]++
+		sp.buildKinds[e.EventKind()]++
 	}
-	raw, err := writeSegmentFile(filepath.Join(sp.cfg.Dir, name), s.events, info, sp.cfg)
-	if err != nil {
-		return err
-	}
-	sp.encBytes += raw
-	sp.encRecords += int64(n)
-	sp.segs = append(sp.segs, info)
+	sp.work <- spillJob{seq: sp.seq, events: s.events, info: info}
+	sp.seq++
 	sp.spilled += n
-	clearEvents(s.events)
-	s.events = s.events[:0]
+	var next []event.Event
+	select {
+	case next = <-sp.free:
+	default:
+		// Pool ramp-up (or a dropped array under a full free list):
+		// allocate a fresh segment at the same capacity.
+		next = make([]event.Event, 0, cap(s.events))
+	}
+	s.events = next
 	return nil
 }
 
@@ -236,16 +386,21 @@ func writeSegmentFile(path string, events []event.Event, info segmentInfo, cfg S
 	var w io.Writer = f
 	var zw *gzip.Writer
 	if cfg.Compress {
-		// BestSpeed: segment writes happen inline on the simulation loop.
-		zw, err = gzip.NewWriterLevel(f, gzip.BestSpeed)
+		level := cfg.GzipLevel
+		if level == 0 {
+			// Direct callers (tests) that skip EnableSpill's defaulting
+			// still get the spill-path default.
+			level = gzip.BestSpeed
+		}
+		zw, err = gzip.NewWriterLevel(f, level)
 		if err != nil {
 			return 0, err
 		}
 		w = zw
 	}
 	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
-	enc := json.NewEncoder(cw)
-	if err := enc.Encode(header{
+	ew := newEnvelopeWriter(cw)
+	if err := ew.enc.Encode(header{
 		Format:  FormatName,
 		Version: FormatVersion,
 		Records: info.Records,
@@ -256,7 +411,7 @@ func writeSegmentFile(path string, events []event.Event, info segmentInfo, cfg S
 		return 0, err
 	}
 	for _, e := range events {
-		if err := encodeEnvelope(enc, e); err != nil {
+		if err := ew.writeEvent(e); err != nil {
 			return 0, err
 		}
 	}
@@ -282,13 +437,33 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// finishSpill flushes the final partial segment, writes the manifest, and
-// arms the segment cache. Called by Seal with the store still unsealed.
+// finishSpill flushes the final partial segment, drains the writer pool,
+// surfaces the first write error, writes the manifest, and arms the
+// segment cache. Called by Seal with the store still unsealed.
 func (s *Store) finishSpill() error {
 	sp := s.spill
 	if err := s.spillActive(); err != nil {
 		return err
 	}
+	if sp.work != nil {
+		close(sp.work)
+		sp.wg.Wait()
+		sp.work = nil
+		sp.free = nil
+	}
+	if err := sp.firstErr(); err != nil {
+		return err
+	}
+	// Assemble the manifest in segment order from the pool's results.
+	sp.segs = make([]segmentInfo, 0, sp.seq)
+	for i := 0; i < sp.seq; i++ {
+		res, ok := sp.results[i]
+		if !ok || res.err != nil {
+			return fmt.Errorf("segment %d missing from writer results", i+1)
+		}
+		sp.segs = append(sp.segs, res.info)
+	}
+	sp.results = nil
 	m := manifest{
 		Format:   SegmentFormatName,
 		Version:  SegmentFormatVersion,
@@ -308,39 +483,68 @@ func (s *Store) finishSpill() error {
 	// Release the active segment's backing array: the sealed store reads
 	// from disk only.
 	s.events = nil
-	sp.cache = newSegCache(sp.cfg.Dir, sp.segs, sp.cfg.CacheSegments)
+	sp.cache = newSegCache(sp.cfg.Dir, sp.segs, effectiveCache(sp.cfg))
 	sp.finished = true
 	return nil
 }
 
-// scan streams every spilled segment through fn in log order, prefetching
-// the next segment while the current one is consumed.
+// effectiveCache sizes the decoded-segment cache: at least the configured
+// bound, and at least the decode-ahead window plus the segment being
+// folded — a scan must never evict its own prefetches.
+func effectiveCache(cfg SpillConfig) int {
+	n := cfg.CacheSegments
+	if w := cfg.ScanWorkers + 1; w > n {
+		n = w
+	}
+	return n
+}
+
+// scan streams every spilled segment through fn in log order. Up to
+// ScanWorkers segments decode ahead in the background while the current
+// one is folded; delivery stays strictly in segment order, so
+// float-summation order — and with it report byte-identity — is
+// untouched by the parallelism.
 func (sp *spillState) scan(fn func(event.Event)) {
-	for i := range sp.segs {
-		if i+1 < len(sp.segs) {
-			sp.cache.prefetch(i + 1)
-		}
-		for _, e := range sp.cache.get(i) {
+	sp.scanSegments(func(_ int, events []event.Event) {
+		for _, e := range events {
 			fn(e)
 		}
+	})
+}
+
+// scanSegments delivers whole decoded segments (with their index) in
+// order — the hook core uses to fold per-segment shards without a second
+// decode pass.
+func (sp *spillState) scanSegments(fn func(seg int, events []event.Event)) {
+	ahead := sp.cfg.ScanWorkers
+	if ahead < 1 {
+		ahead = 1
+	}
+	for i := range sp.segs {
+		for j := i + 1; j <= i+ahead && j < len(sp.segs); j++ {
+			sp.cache.prefetch(j)
+		}
+		fn(i, sp.cache.get(i))
 	}
 }
 
 // scanKind is scan restricted to one record kind, skipping segments whose
-// manifest shows none of it.
+// manifest shows none of it. The decode-ahead window walks the same
+// skip-list: only segments that hold k are prefetched.
 func (sp *spillState) scanKind(k event.Kind, fn func(event.Event)) {
-	prefetched := -1
+	ahead := sp.cfg.ScanWorkers
+	if ahead < 1 {
+		ahead = 1
+	}
 	for i, seg := range sp.segs {
 		if seg.Kinds[k] == 0 {
 			continue
 		}
-		for j := i + 1; j < len(sp.segs); j++ {
+		queued := 0
+		for j := i + 1; j < len(sp.segs) && queued < ahead; j++ {
 			if sp.segs[j].Kinds[k] > 0 {
-				if j != prefetched {
-					sp.cache.prefetch(j)
-					prefetched = j
-				}
-				break
+				sp.cache.prefetch(j)
+				queued++
 			}
 		}
 		for _, e := range sp.cache.get(i) {
@@ -381,6 +585,39 @@ type segCache struct {
 	// order holds fully-loaded entry indices, LRU first. In-flight loads
 	// are not evictable, so membership here implies ready is closed.
 	order []int
+
+	// Diagnostics counters (SegmentCacheStats).
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedup     atomic.Int64
+	evictions atomic.Int64
+}
+
+// SegmentCacheStats reports decoded-segment cache traffic since Seal (or
+// directory open): cache hits, decode misses, prefetches deduplicated
+// against an in-flight or resident entry, and evictions. analyze prints
+// them so scan-pattern regressions (thrash, dead prefetch) are visible.
+type SegmentCacheStats struct {
+	Hits            int64
+	Misses          int64
+	PrefetchDeduped int64
+	Evictions       int64
+}
+
+// SegmentCacheStats returns cache counters for a segmented store; zero
+// for stores without one.
+func (s *Store) SegmentCacheStats() SegmentCacheStats {
+	sp := s.spill
+	if sp == nil || sp.cache == nil {
+		return SegmentCacheStats{}
+	}
+	c := sp.cache
+	return SegmentCacheStats{
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		PrefetchDeduped: c.dedup.Load(),
+		Evictions:       c.evictions.Load(),
+	}
 }
 
 type cacheEntry struct {
@@ -412,6 +649,7 @@ func (c *segCache) load(i int) ([]event.Event, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[i]; ok {
 		c.mu.Unlock()
+		c.hits.Add(1)
 		<-e.ready
 		c.touch(i)
 		return e.events, e.err
@@ -419,6 +657,7 @@ func (c *segCache) load(i int) ([]event.Event, error) {
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[i] = e
 	c.mu.Unlock()
+	c.misses.Add(1)
 
 	e.events, e.err = decodeSegmentFile(filepath.Join(c.dir, c.segs[i].File), c.segs[i])
 	close(e.ready)
@@ -429,6 +668,7 @@ func (c *segCache) load(i int) ([]event.Event, error) {
 		victim := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, victim)
+		c.evictions.Add(1)
 	}
 	c.mu.Unlock()
 	return e.events, e.err
@@ -456,6 +696,7 @@ func (c *segCache) prefetch(i int) {
 	_, ok := c.entries[i]
 	c.mu.Unlock()
 	if ok {
+		c.dedup.Add(1)
 		return
 	}
 	go c.load(i)
@@ -582,12 +823,17 @@ func OpenSegmentDir(dir string, opts ReadOptions) (*Store, *ReadStats, error) {
 	if cacheN <= 0 {
 		cacheN = DefaultCacheSegments
 	}
+	scanW := opts.ScanWorkers
+	if scanW <= 0 {
+		scanW = 1
+	}
+	cfg := SpillConfig{Dir: dir, CacheSegments: cacheN, ScanWorkers: scanW, Meta: st.Meta}
 	s := &Store{spill: &spillState{
-		cfg:      SpillConfig{Dir: dir, CacheSegments: cacheN, Meta: st.Meta},
+		cfg:      cfg,
 		segs:     kept,
 		spilled:  st.Records,
 		finished: true,
-		cache:    newSegCache(dir, kept, cacheN),
+		cache:    newSegCache(dir, kept, effectiveCache(cfg)),
 	}}
 	s.sealed.Store(true)
 	return s, st, nil

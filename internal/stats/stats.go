@@ -110,6 +110,30 @@ func (s *Sample) Add(x float64) {
 // AddDuration appends a duration observation in seconds.
 func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 
+// Merge appends other's observations, preserving their insertion order.
+// Merging per-partition samples partition by partition reproduces the
+// single-pass sample exactly — including the insertion order that
+// left-fold float reductions (Sum, Mean) depend on — the property the
+// segmented map-reduce analyses lean on.
+func (s *Sample) Merge(other *Sample) {
+	if other.N() == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = nil
+}
+
+// Sum returns the observations' left-fold sum in insertion order, so a
+// sample built by ordered Merge yields bit-identical totals to one built
+// by sequential Adds.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
@@ -264,6 +288,22 @@ func (ts *TimeSeries) ObserveN(t time.Time, n int) {
 		ts.counts = append(ts.counts, 0)
 	}
 	ts.counts[idx] += n
+}
+
+// Merge folds other's bucket counts into ts. Both series must share the
+// same origin and width (the segmented shards are built from one
+// constructor, so they always do); counts are additive per bucket and the
+// result extends to the longer series.
+func (ts *TimeSeries) Merge(other *TimeSeries) {
+	if !ts.Start.Equal(other.Start) || ts.Width != other.Width {
+		panic("stats: merging misaligned time series")
+	}
+	for len(ts.counts) < len(other.counts) {
+		ts.counts = append(ts.counts, 0)
+	}
+	for i, c := range other.counts {
+		ts.counts[i] += c
+	}
 }
 
 // Counts returns the bucket counts (a copy).
