@@ -43,6 +43,7 @@ import (
 	"os"
 	"time"
 
+	"manualhijack/internal/analysis"
 	"manualhijack/internal/core"
 	"manualhijack/internal/logstore"
 	"manualhijack/internal/report"
@@ -159,6 +160,14 @@ func main() {
 		lc.LuresDelivered, lc.CredentialsCaptured, lc.AccountsEntered,
 		lc.AccountsExploited, lc.ClaimsFiled, lc.AccountsRecovered)
 
+	// Per-archetype detection scorecard, one machine-parseable line per
+	// archetype (empty when the dump carries no tagged actors). CI diffs
+	// these lines against the streaming replay's verbatim.
+	printScorecard("archetype-scorecard", r.ArchetypeScorecard)
+	if len(r.ArchetypeScorecard.Rows) > 0 {
+		fmt.Println()
+	}
+
 	if s.Segmented() {
 		// Machine-parseable: CI and bench.sh read this line.
 		cs := s.SegmentCacheStats()
@@ -189,16 +198,35 @@ func runStreamParity(s *logstore.Store, r *core.StudyReport) bool {
 		Fig6:      r.Fig6,
 		Fig8:      r.Fig8,
 		Fig11:     r.Fig11,
+		Scorecard: r.ArchetypeScorecard,
 	}
 	if diffs := stream.AnalysisDiff(snap, batch); len(diffs) > 0 {
 		fmt.Printf("streaming parity FAILED: %v differ between the incremental and batch paths\n", diffs)
 		return false
 	}
-	fmt.Printf("streaming parity ok: %d events replayed in %s, incremental == batch for lifecycle, figure-6, figure-8, figure-11\n",
+	fmt.Printf("streaming parity ok: %d events replayed in %s, incremental == batch for lifecycle, figure-6, figure-8, figure-11, archetype-scorecard\n",
 		n, time.Since(start).Round(time.Millisecond))
 	slc := snap.Lifecycle
 	fmt.Printf("streaming lifecycle: %d lures → %d creds → %d entered → %d exploited → %d claims → %d recovered\n",
 		slc.LuresDelivered, slc.CredentialsCaptured, slc.AccountsEntered,
 		slc.AccountsExploited, slc.ClaimsFiled, slc.AccountsRecovered)
+	printScorecard("streaming archetype-scorecard", snap.Scorecard)
 	return true
+}
+
+// printScorecard emits one line per archetype row plus an owner
+// false-positive-cost line, all carrying the given prefix. The batch and
+// streaming paths share this formatter so CI can diff their output
+// verbatim.
+func printScorecard(prefix string, sc analysis.ArchetypeScorecard) {
+	for _, row := range sc.Rows {
+		fmt.Printf("%s: %s accounts=%d attempts=%d logins=%d challenged=%d blocked=%d detected=%d recall=%.3f median-ttd=%s\n",
+			prefix, row.Archetype, row.Accounts, row.Attempts, row.Logins,
+			row.Challenged, row.Blocked, row.Detected, row.Recall, row.MedianTTD)
+	}
+	if len(sc.Rows) > 0 {
+		fmt.Printf("%s: owner-cost logins=%d challenged=%d blocked=%d challenged-share=%.4f blocked-share=%.4f\n",
+			prefix, sc.OwnerLogins, sc.OwnerChallenged, sc.OwnerBlocked,
+			sc.OwnerChallengedShare, sc.OwnerBlockedShare)
+	}
 }

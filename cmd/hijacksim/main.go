@@ -6,9 +6,15 @@
 // Usage:
 //
 //	hijacksim [-seed N] [-pop N] [-days N] [-decoys N] [-events file.ndjson]
+//	          [-archetypes smashgrab:3,stuffer:2]
 //	          [-spill-dir d] [-segment-records N] [-segment-bytes N] [-segment-gzip]
 //	          [-spill-writers N] [-scan-workers N]
 //	          [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// -archetypes fields playbook actors (internal/playbook) next to the
+// manual crews: a comma-separated roster of archetype:count pairs (a bare
+// name means one instance). Their events carry the archetype tag, which
+// `analyze` turns into the per-archetype detection scorecard.
 //
 // -spill-dir builds the log as spill-to-disk segments: peak RAM is
 // bounded by the segment size instead of the world size, and the segment
@@ -28,10 +34,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"manualhijack/internal/core"
 	"manualhijack/internal/logstore"
+	"manualhijack/internal/playbook"
 	"manualhijack/internal/profiling"
 	"manualhijack/internal/report"
 )
@@ -41,6 +49,8 @@ func main() {
 	pop := flag.Int("pop", 8000, "population size")
 	days := flag.Int("days", 30, "window length in days")
 	decoys := flag.Int("decoys", 0, "decoy accounts to inject")
+	archetypes := flag.String("archetypes", "",
+		"playbook actor roster, e.g. smashgrab:3,stuffer:2 (known: "+strings.Join(playbook.Names(), ",")+")")
 	eventsOut := flag.String("events", "", "write the event log as NDJSON to this file (a .gz suffix gzip-compresses)")
 	spillDir := flag.String("spill-dir", "",
 		"build the log as spill-to-disk segments in this directory (bounded RAM; the directory is the dump)")
@@ -66,6 +76,16 @@ func main() {
 	cfg.PopulationN = *pop
 	cfg.Days = *days
 	cfg.DecoyN = *decoys
+	roster, err := playbook.ParseRoster(*archetypes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hijacksim: %v\n", err)
+		os.Exit(2)
+	}
+	for _, entry := range roster {
+		cfg.Archetypes = append(cfg.Archetypes, core.ArchetypeSpec{
+			Archetype: entry.Archetype, Count: entry.Count,
+		})
+	}
 	if *spillDir != "" {
 		cfg.Spill = logstore.SpillConfig{
 			Dir:            *spillDir,
@@ -107,6 +127,25 @@ func main() {
 	report.Table(os.Stdout, "crews",
 		[]string{"crew", "cc", "processed", "in", "exploited", "abandoned", "locked", "2sv"},
 		crewRows)
+
+	if len(w.Actors) > 0 {
+		actorRows := [][]string{}
+		for _, a := range w.Actors {
+			processed, loggedIn, exploited := 0, 0, 0
+			if sp, ok := a.(playbook.StatsProvider); ok {
+				processed, loggedIn, exploited = sp.ActorStats()
+			}
+			actorRows = append(actorRows, []string{
+				a.Name(), a.Archetype(), string(a.Country()),
+				fmt.Sprintf("%d", processed), fmt.Sprintf("%d", loggedIn),
+				fmt.Sprintf("%d", exploited),
+			})
+		}
+		fmt.Println()
+		report.Table(os.Stdout, "playbook actors",
+			[]string{"actor", "archetype", "cc", "processed", "in", "exploited"},
+			actorRows)
+	}
 
 	if *spillDir != "" {
 		fmt.Printf("\nspilled %d segment(s) to %s (analyze -events %s reads them directly)\n",

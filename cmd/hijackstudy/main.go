@@ -6,9 +6,14 @@
 // Usage:
 //
 //	hijackstudy [-seed N] [-scale F] [-par N] [-spill-dir d]
+//	            [-archetypes smashgrab:3,stuffer:2]
 //	            [-segment-records N] [-segment-bytes N] [-segment-gzip]
 //	            [-spill-writers N] [-scan-workers N]
 //	            [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// -archetypes fields playbook actors (internal/playbook) in every era
+// world next to the era's manual-crew roster; the §8.1 block of the report
+// then includes the per-archetype detection scorecard.
 //
 // -scale shrinks populations and phishing volume for quick runs (0.2 runs
 // in well under a minute; 1.0 is the full study; values above 1 grow the
@@ -38,9 +43,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"manualhijack/internal/core"
+	"manualhijack/internal/playbook"
 	"manualhijack/internal/profiling"
 	"manualhijack/internal/report"
 )
@@ -49,6 +56,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 1.0, "study scale in (0,1]")
 	par := flag.Int("par", 0, "study parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	archetypes := flag.String("archetypes", "",
+		"playbook actor roster for every era world, e.g. smashgrab:3,stuffer:2 (known: "+strings.Join(playbook.Names(), ",")+")")
 	spillDir := flag.String("spill-dir", "",
 		"run every era world with a spill-to-disk segmented log under this directory (bounded RAM, identical report)")
 	segRecords := flag.Int("segment-records", 0, "records per spilled segment (0 = logstore default)")
@@ -85,6 +94,16 @@ func main() {
 	sc.SpillGzip = *segGzip
 	sc.SpillWriters = *spillWriters
 	sc.ScanWorkers = *scanWorkers
+	roster, err := playbook.ParseRoster(*archetypes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hijackstudy: %v\n", err)
+		os.Exit(2)
+	}
+	for _, entry := range roster {
+		sc.Archetypes = append(sc.Archetypes, core.ArchetypeSpec{
+			Archetype: entry.Archetype, Count: entry.Count,
+		})
+	}
 
 	start := time.Now()
 	r := core.RunStudy(sc)

@@ -113,6 +113,9 @@ type LoginReq struct {
 	DeviceID  string
 	Principal challenge.Principal
 	Actor     event.Actor
+	// Archetype is the attacker playbook behind a hijacker attempt, copied
+	// verbatim onto the logged record as ground truth. Empty for owners.
+	Archetype string
 }
 
 // LoginResult is the decision for one attempt.
@@ -179,6 +182,7 @@ func (s *Service) Login(req LoginReq) LoginResult {
 		RiskScore:  res.RiskScore,
 		Session:    res.Session,
 		Actor:      req.Actor,
+		Archetype:  req.Archetype,
 	})
 	if res.Outcome == event.LoginBlocked || res.Outcome == event.LoginChallengeFailed {
 		s.notify(acct, "suspicious_login")

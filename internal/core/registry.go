@@ -275,6 +275,11 @@ var registry = []Analysis{
 			r.Lifecycle = b.Lifecycle()
 		})
 	}},
+	{Name: "archetype-scorecard", Era: Era2012, Stream: func(in AnalysisInput) StreamAnalysis {
+		return mergeable(analysis.NewArchetypeScorecardBuilder, func(b *analysis.ArchetypeScorecardBuilder, r *StudyReport) {
+			r.ArchetypeScorecard = b.Scorecard()
+		})
+	}},
 
 	// ---- 2013 era ----
 	{Name: "figure-10", Era: Era2013, Stream: func(in AnalysisInput) StreamAnalysis {

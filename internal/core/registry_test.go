@@ -14,8 +14,8 @@ import (
 // offline tool both rely on.
 func TestRegistryWellFormed(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 27 {
-		t.Fatalf("registry has %d analyses, want 27 — keep RunStudy and cmd/analyze in sync", len(reg))
+	if len(reg) != 28 {
+		t.Fatalf("registry has %d analyses, want 28 — keep RunStudy and cmd/analyze in sync", len(reg))
 	}
 	names := map[string]bool{}
 	for _, a := range reg {

@@ -21,7 +21,15 @@ func TestSegmentedMatchesMonolithic(t *testing.T) {
 		t.Skip("multi-study comparison; skipped in -short")
 	}
 	for _, seed := range []int64{1, 2} {
-		sc := StudyConfig{Seed: seed, Scale: 0.1, DecoyN: 200}
+		sc := StudyConfig{Seed: seed, Scale: 0.1, DecoyN: 200,
+			// Archetype actors ride in every era world so the segmented
+			// scan covers tagged events and the scorecard's Merge path.
+			Archetypes: []ArchetypeSpec{
+				{Archetype: "smashgrab", Count: 1},
+				{Archetype: "stuffer", Count: 1},
+				{Archetype: "hopper", Count: 1},
+			},
+		}
 		mono := RunStudy(sc)
 
 		sc.SpillDir = t.TempDir()

@@ -47,6 +47,10 @@ type StudyConfig struct {
 	// bytes — only how much of the spill tax overlaps other work.
 	SpillWriters int
 	ScanWorkers  int
+	// Archetypes fields playbook actors in every era world, next to each
+	// era's manual-crew roster (counts are not scaled — archetype
+	// instances are actors, not population).
+	Archetypes []ArchetypeSpec
 }
 
 // spillFor derives one era world's spill configuration, or the zero value
@@ -105,6 +109,10 @@ type StudyReport struct {
 	BaseRates analysis.BaseRates
 	Behavior  analysis.DetectionEval
 	RiskSweep []analysis.RiskOperatingPoint
+	// ArchetypeScorecard is the per-archetype detection scorecard (2012
+	// world): recall, time-to-detect, and the owner-side FP cost. Empty
+	// rows when no archetypes are fielded.
+	ArchetypeScorecard analysis.ArchetypeScorecard
 
 	// §5.5 — the "ordinary office job" evidence, and the doppelganger
 	// review defense of §5.4.
@@ -142,6 +150,7 @@ func (sc StudyConfig) era(start time.Time, days, pop int, crews []CrewSpec, camp
 	cfg.Crews = crews
 	cfg.CampaignsPerDay = campaignsPerDay * sc.Scale
 	cfg.LureBase = lureBase
+	cfg.Archetypes = sc.Archetypes
 	return cfg
 }
 

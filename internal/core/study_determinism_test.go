@@ -22,6 +22,15 @@ func TestRunStudyDeterministicAcrossParallelism(t *testing.T) {
 		sc := core.DefaultStudyConfig(11)
 		sc.Scale = 0.1
 		sc.Parallelism = par
+		// Mixed-archetype roster: the determinism guarantee must hold
+		// with playbook actors in every era world, not just the manual
+		// crews.
+		sc.Archetypes = []core.ArchetypeSpec{
+			{Archetype: "smashgrab", Count: 2},
+			{Archetype: "stuffer", Count: 1},
+			{Archetype: "lowslow", Count: 1},
+			{Archetype: "impaas", Count: 1},
+		}
 		return core.RunStudy(sc)
 	}
 	start := time.Now()

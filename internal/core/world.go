@@ -14,6 +14,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"manualhijack/internal/auth"
@@ -26,6 +27,7 @@ import (
 	"manualhijack/internal/logstore"
 	"manualhijack/internal/mail"
 	"manualhijack/internal/phishkit"
+	"manualhijack/internal/playbook"
 	"manualhijack/internal/randx"
 	"manualhijack/internal/recovery"
 	"manualhijack/internal/risk"
@@ -42,6 +44,23 @@ type CrewSpec struct {
 	Config hijacker.Config
 	Weight float64
 }
+
+// ArchetypeSpec fields Count instances of a registered playbook archetype
+// (internal/playbook) alongside the manual crews. Weight is each
+// instance's share of the mail-targeted phished-credential flow, on the
+// same relative scale as CrewSpec.Weight; zero means a default modest
+// share so rosters stay calibrated around the manual crews.
+type ArchetypeSpec struct {
+	Archetype string
+	Count     int
+	Weight    float64
+}
+
+// defaultArchetypeWeight is the per-instance credential-flow share an
+// ArchetypeSpec gets when its Weight is zero — small next to the 2012
+// manual roster's ~77 total so archetypes ride along without drowning
+// out the paper's calibrated crews.
+const defaultArchetypeWeight = 4.0
 
 // Config describes one world.
 type Config struct {
@@ -64,6 +83,9 @@ type Config struct {
 	MailSeed  mail.SeedConfig
 
 	Crews []CrewSpec
+	// Archetypes fields additional playbook actors (smash & grab,
+	// credential stuffers, ...) next to the manual crews.
+	Archetypes []ArchetypeSpec
 
 	// CampaignsPerDay is the mean rate of new phishing campaigns.
 	CampaignsPerDay float64
@@ -148,11 +170,13 @@ type World struct {
 	Inf   *phishkit.Infrastructure
 	SB    *safebrowsing.Pipeline
 	Crews []*hijacker.Crew
+	// Actors are the playbook archetypes fielded next to the crews.
+	Actors []playbook.Actor
 	// Guard is the online behavioral defense (nil unless enabled).
 	Guard *Guardian
 
 	rng       *randx.Rand
-	crewPick  *randx.Weighted[*hijacker.Crew]
+	sinkPick  *randx.Weighted[phishkit.CredentialSink]
 	pageMix   *randx.Weighted[event.TargetKind]
 	lureScale map[event.TargetKind]float64
 	mailPages []event.PageID
@@ -233,18 +257,39 @@ func NewWorld(cfg Config) *World {
 		w.Guard = newGuardian(w, behavior.DefaultConfig())
 	}
 
+	var sinks []phishkit.CredentialSink
+	var weights []float64
 	for _, spec := range cfg.Crews {
 		crew := hijacker.NewCrew(spec.Config, clock, log, rng, dir, mailSvc, authSvc, inf, plan)
 		crew.SetListener(vict)
 		crew.SetRecovery(rec)
 		w.Crews = append(w.Crews, crew)
+		sinks = append(sinks, crew)
+		weights = append(weights, spec.Weight)
 	}
-	if len(w.Crews) > 0 {
-		weights := make([]float64, len(w.Crews))
-		for i, spec := range cfg.Crews {
-			weights[i] = spec.Weight
+	env := playbook.Env{
+		Clock: clock, Log: log, Rng: rng, Dir: dir, Mail: mailSvc,
+		Auth: authSvc, Inf: inf, Plan: plan, Listener: vict,
+	}
+	for _, spec := range cfg.Archetypes {
+		weight := spec.Weight
+		if weight <= 0 {
+			weight = defaultArchetypeWeight
 		}
-		w.crewPick = randx.NewWeighted(w.Crews, weights)
+		for i := 0; i < spec.Count; i++ {
+			actor, err := playbook.New(spec.Archetype, playbook.Config{
+				Name: fmt.Sprintf("%s-%d", spec.Archetype, i+1),
+			}, env)
+			if err != nil {
+				panic("core: " + err.Error())
+			}
+			w.Actors = append(w.Actors, actor)
+			sinks = append(sinks, actor)
+			weights = append(weights, weight)
+		}
+	}
+	if len(sinks) > 0 {
+		w.sinkPick = randx.NewWeighted(sinks, weights)
 	}
 
 	w.pageMix = phishkit.DefaultPageTargetMix()
@@ -339,6 +384,9 @@ func (w *World) Run() {
 	for _, crew := range w.Crews {
 		crew.Start(end)
 	}
+	for _, actor := range w.Actors {
+		actor.Start(end)
+	}
 	campaignEnd := end
 	if w.Cfg.CampaignDays > 0 {
 		campaignEnd = w.Cfg.Start.Add(time.Duration(w.Cfg.CampaignDays) * 24 * time.Hour)
@@ -391,8 +439,8 @@ func (w *World) launchCampaign() {
 		c.OnForms = true
 		c.DetectionFactor = 3.5
 	}
-	if target == event.TargetMail && w.crewPick != nil {
-		c.Sink = w.crewPick.Choose(w.rng)
+	if target == event.TargetMail && w.sinkPick != nil {
+		c.Sink = w.sinkPick.Choose(w.rng)
 	}
 	id := w.Inf.Launch(c)
 	if target == event.TargetMail {

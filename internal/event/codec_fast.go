@@ -34,6 +34,17 @@ func appendBool(dst []byte, b bool) []byte {
 
 func appendInt(dst []byte, v int64) []byte { return strconv.AppendInt(dst, v, 10) }
 
+// appendArchetype appends the trailing `,"Archetype":"…"` field that the
+// json:",omitempty" tag produces only for tagged records; untagged
+// records canonically omit it.
+func appendArchetype(dst []byte, archetype string) []byte {
+	if archetype == "" {
+		return dst
+	}
+	dst = append(dst, `,"Archetype":`...)
+	return appendString(dst, archetype)
+}
+
 // appendAddrs matches encoding/json's slice conventions: nil → null,
 // empty → [].
 func appendAddrs(dst []byte, xs []identity.Address) []byte {
@@ -93,6 +104,7 @@ func appendLine(dst []byte, e Event) ([]byte, bool) {
 		dst = appendInt(dst, int64(v.Session))
 		dst = append(dst, `,"Actor":`...)
 		dst = appendString(dst, string(v.Actor))
+		dst = appendArchetype(dst, v.Archetype)
 	case PasswordChanged:
 		if !timeOK(v.Time) {
 			return dst, false
@@ -350,6 +362,7 @@ func appendLine(dst []byte, e Event) ([]byte, bool) {
 		dst = appendString(dst, v.Crew)
 		dst = append(dst, `,"Session":`...)
 		dst = appendInt(dst, int64(v.Session))
+		dst = appendArchetype(dst, v.Archetype)
 	case HijackAssessed:
 		if !timeOK(v.Time) {
 			return dst, false
@@ -364,6 +377,7 @@ func appendLine(dst []byte, e Event) ([]byte, bool) {
 		dst = appendInt(dst, int64(v.Duration))
 		dst = append(dst, `,"Exploited":`...)
 		dst = appendBool(dst, v.Exploited)
+		dst = appendArchetype(dst, v.Archetype)
 	case HijackEnded:
 		if !timeOK(v.Time) {
 			return dst, false
@@ -376,6 +390,7 @@ func appendLine(dst []byte, e Event) ([]byte, bool) {
 		dst = appendString(dst, v.Crew)
 		dst = append(dst, `,"LockedOut":`...)
 		dst = appendBool(dst, v.LockedOut)
+		dst = appendArchetype(dst, v.Archetype)
 	case ScamReply:
 		if !timeOK(v.Time) {
 			return dst, false
@@ -510,6 +525,24 @@ func (r *jsonReader) acct() identity.AccountID { return identity.AccountID(r.int
 func (r *jsonReader) sess() SessionID          { return SessionID(r.intVal(64)) }
 func (r *jsonReader) actor() Actor             { return Actor(r.str()) }
 
+// archetypeOpt parses the optional trailing `,"Archetype":"…"` field.
+// omitempty drops it for untagged records, so absence (the enclosing '}'
+// next) is canonical too; a present-but-empty value is not something the
+// canonical encoder emits, so it falls back like any other surprise.
+func (r *jsonReader) archetypeOpt() string {
+	if !r.ok || r.peek() != ',' {
+		return ""
+	}
+	r.pos++
+	r.key("Archetype")
+	s := r.str()
+	if s == "" {
+		r.fail()
+		return ""
+	}
+	return s
+}
+
 // addrList parses a []identity.Address with encoding/json's conventions:
 // null → nil, [] → empty non-nil slice.
 func (r *jsonReader) addrList() []identity.Address {
@@ -614,6 +647,7 @@ func decodeDataFast(r *jsonReader, kind string) (Event, bool) {
 		r.comma()
 		r.key("Actor")
 		v.Actor = r.actor()
+		v.Archetype = r.archetypeOpt()
 		e = v
 	case KindPasswordChanged:
 		var v PasswordChanged
@@ -923,6 +957,7 @@ func decodeDataFast(r *jsonReader, kind string) (Event, bool) {
 		r.comma()
 		r.key("Session")
 		v.Session = r.sess()
+		v.Archetype = r.archetypeOpt()
 		e = v
 	case KindHijackAssessed:
 		var v HijackAssessed
@@ -940,6 +975,7 @@ func decodeDataFast(r *jsonReader, kind string) (Event, bool) {
 		r.comma()
 		r.key("Exploited")
 		v.Exploited = r.boolVal()
+		v.Archetype = r.archetypeOpt()
 		e = v
 	case KindHijackEnded:
 		var v HijackEnded
@@ -954,6 +990,7 @@ func decodeDataFast(r *jsonReader, kind string) (Event, bool) {
 		r.comma()
 		r.key("LockedOut")
 		v.LockedOut = r.boolVal()
+		v.Archetype = r.archetypeOpt()
 		e = v
 	case KindScamReply:
 		var v ScamReply

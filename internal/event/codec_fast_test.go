@@ -63,11 +63,12 @@ func fastCodecSamples() []Event {
 	v4 := netip.MustParseAddr("203.0.113.7")
 	v6 := netip.MustParseAddr("2001:db8::8a2e:370:7334")
 	return []Event{
-		Login{Base{at}, 42, v4, "dev-1", true, LoginSuccess, false, 0.73, 9001, ActorOwner},
-		Login{Base{micro}, -1, v6, nasty, false, LoginBlocked, true, 1e-7, 0, ActorHijacker},
-		Login{Base{coarse}, 0, netip.Addr{}, "", false, LoginWrongPassword, false, 0, -3, ActorSystem},
-		Login{Base{at}, 7, v4, bad, true, LoginChallengeFailed, true, math.MaxFloat64, 1, ActorOwner},
-		Login{Base{at}, 7, v4, "x", true, LoginSuccess, true, math.SmallestNonzeroFloat64, 1, ActorOwner},
+		Login{Base{at}, 42, v4, "dev-1", true, LoginSuccess, false, 0.73, 9001, ActorOwner, ""},
+		Login{Base{micro}, -1, v6, nasty, false, LoginBlocked, true, 1e-7, 0, ActorHijacker, "smashgrab"},
+		Login{Base{coarse}, 0, netip.Addr{}, "", false, LoginWrongPassword, false, 0, -3, ActorSystem, ""},
+		Login{Base{at}, 7, v4, bad, true, LoginChallengeFailed, true, math.MaxFloat64, 1, ActorOwner, ""},
+		Login{Base{at}, 7, v4, "x", true, LoginSuccess, true, math.SmallestNonzeroFloat64, 1, ActorOwner, ""},
+		Login{Base{at}, 9, v6, "kit-1", true, LoginSuccess, false, 0.4, 77, ActorHijacker, nasty},
 		PasswordChanged{Base{at}, 42, 9001, ActorHijacker},
 		RecoveryChanged{Base{micro}, 42, "phone", 9001, ActorOwner},
 		RecoveryChanged{Base{at}, 1, nasty, 2, ActorSystem},
@@ -92,10 +93,12 @@ func fastCodecSamples() []Event {
 		LureSent{Base{at}, 31337, 5, "v@x.test", TargetAppStore, true, false},
 		LureSent{Base{coarse}, -2, 0, identity.Address(nasty + "@v"), TargetOther, false, true},
 		CredentialPhished{Base{at}, 42, 5, true},
-		HijackStarted{Base{at}, 42, "crew-7", 9001},
-		HijackAssessed{Base{at}, 42, "crew-7", 3*time.Minute + 17*time.Second, true},
-		HijackAssessed{Base{at}, 42, nasty, -time.Nanosecond, false},
-		HijackEnded{Base{at}, 42, "crew-7", true},
+		HijackStarted{Base{at}, 42, "crew-7", 9001, ""},
+		HijackStarted{Base{at}, 42, "stuffer-1", 9002, "stuffer"},
+		HijackAssessed{Base{at}, 42, "crew-7", 3*time.Minute + 17*time.Second, true, ""},
+		HijackAssessed{Base{at}, 42, nasty, -time.Nanosecond, false, nasty},
+		HijackEnded{Base{at}, 42, "crew-7", true, ""},
+		HijackEnded{Base{at}, 42, "ransomer-1", false, "ransomer"},
 		ScamReply{Base{at}, 42, 8, true, "replyto"},
 		MoneyWired{Base{at}, 42, 8, "crew-7", 1273.50},
 		MoneyWired{Base{at}, 42, 8, "", 0.000001},
@@ -180,6 +183,10 @@ func TestFastDecodeFallsBackOnSurprises(t *testing.T) {
 		`{"kind":"phish.page_detected","data":{"Time":"2012-01-01T00:00:00Z","Page":5.x}}`,
 		`{"kind":"phish.page_detected","data":{"Time":"not-a-time","Page":5}}`,
 		`{"kind":"phish.credential_phished","data":{"Time":"2012-01-01T00:00:00Z","Account":1,"Page":5,"Decoy":maybe}}`,
+		// A trailing field after LockedOut that is not Archetype.
+		`{"kind":"hijack.ended","data":{"Time":"2012-01-01T00:00:00Z","Account":1,"Crew":"c","LockedOut":true,"X":1}}`,
+		// Present-but-empty Archetype: omitempty never writes this.
+		`{"kind":"hijack.ended","data":{"Time":"2012-01-01T00:00:00Z","Account":1,"Crew":"c","LockedOut":true,"Archetype":""}}`,
 	}
 	for _, c := range cases {
 		if e, ok := DecodeLineFast([]byte(c)); ok {

@@ -103,6 +103,11 @@ type Login struct {
 	RiskScore  float64
 	Session    SessionID // non-zero on success
 	Actor      Actor
+	// Archetype is ground truth for hijacker attempts: the playbook
+	// archetype behind the attempt ("manual", "smashgrab", ...). Empty for
+	// owner traffic and for dumps written before archetype tagging —
+	// detectors must not read it; the per-archetype scorecard does.
+	Archetype string `json:",omitempty"`
 }
 
 // EventKind implements Event.
@@ -375,6 +380,9 @@ type HijackStarted struct {
 	Account identity.AccountID
 	Crew    string
 	Session SessionID
+	// Archetype is the attacker playbook behind the hijack (empty in
+	// pre-archetype dumps).
+	Archetype string `json:",omitempty"`
 }
 
 // EventKind implements Event.
@@ -386,7 +394,8 @@ type HijackAssessed struct {
 	Account   identity.AccountID
 	Crew      string
 	Duration  time.Duration
-	Exploited bool // false = deemed not valuable, abandoned
+	Exploited bool   // false = deemed not valuable, abandoned
+	Archetype string `json:",omitempty"`
 }
 
 // EventKind implements Event.
@@ -397,7 +406,8 @@ type HijackEnded struct {
 	Base
 	Account   identity.AccountID
 	Crew      string
-	LockedOut bool // the owner was locked out (password changed)
+	LockedOut bool   // the owner was locked out (password changed)
+	Archetype string `json:",omitempty"`
 }
 
 // EventKind implements Event.

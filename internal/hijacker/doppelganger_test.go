@@ -67,7 +67,7 @@ func TestDoppelgangerEditDistanceProperty(t *testing.T) {
 	}
 }
 
-// Property: chunkContacts never loses or duplicates a contact and keeps
+// Property: ChunkContacts never loses or duplicates a contact and keeps
 // batches at high recipient counts whenever the list allows it.
 func TestChunkContactsProperty(t *testing.T) {
 	f := func(n uint8, batches uint8) bool {
@@ -75,7 +75,7 @@ func TestChunkContactsProperty(t *testing.T) {
 		for i := range contacts {
 			contacts[i] = identity.Address(string(rune('a'+i%26)) + string(rune('0'+i/26)))
 		}
-		out := chunkContacts(contacts, int(batches)%12)
+		out := ChunkContacts(contacts, int(batches)%12)
 		total := 0
 		for _, b := range out {
 			total += len(b)

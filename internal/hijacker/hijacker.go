@@ -100,11 +100,20 @@ func Tactics2014() Tactics {
 	return t
 }
 
+// ManualArchetype tags the manual-hijacking crews this package models —
+// the first entry of the playbook registry (internal/playbook).
+const ManualArchetype = "manual"
+
 // Config describes one crew.
 type Config struct {
 	Name     string
 	Country  geo.Country
 	Language Language
+	// Archetype is the ground-truth playbook tag stamped on every login
+	// and hijack-lifecycle record the crew emits. DefaultConfig sets it to
+	// ManualArchetype; alternative attacker playbooks live in
+	// internal/playbook.
+	Archetype string
 	// Members is how many individuals work the queue in parallel.
 	Members int
 	// WorkStartUTC/WorkEndUTC bound the working day; LunchUTC is the
@@ -149,6 +158,7 @@ type Config struct {
 func DefaultConfig(name string, country geo.Country, lang Language) Config {
 	return Config{
 		Name: name, Country: country, Language: lang,
+		Archetype:           ManualArchetype,
 		Members:             4,
 		WorkStartUTC:        8,
 		WorkEndUTC:          17,
@@ -249,6 +259,9 @@ func NewCrew(
 	inf *phishkit.Infrastructure,
 	plan *geo.IPPlan,
 ) *Crew {
+	if cfg.Archetype == "" {
+		cfg.Archetype = ManualArchetype
+	}
 	crng := rng.Fork("crew/" + cfg.Name)
 	c := &Crew{
 		cfg: cfg, clock: clock, log: log, rng: crng,
@@ -279,6 +292,15 @@ func (c *Crew) Name() string { return c.cfg.Name }
 
 // Country returns the crew's origin.
 func (c *Crew) Country() geo.Country { return c.cfg.Country }
+
+// Archetype returns the crew's playbook tag (playbook.Actor contract).
+func (c *Crew) Archetype() string { return c.cfg.Archetype }
+
+// ActorStats reports the crew's headline counters (playbook stats
+// contract, shared with the scaffolded archetypes).
+func (c *Crew) ActorStats() (processed, loggedIn, exploited int) {
+	return c.Processed, c.LoggedIn, c.Exploited
+}
 
 // QueueLen returns the pending-credential backlog.
 func (c *Crew) QueueLen() int { return len(c.queue) }
@@ -411,12 +433,14 @@ func (c *Crew) process(cred phishkit.Credential) bool {
 	res := c.auth.Login(auth.LoginReq{
 		Account: cred.Account, Password: cred.Password, IP: ip,
 		DeviceID: device, Principal: c.principal(), Actor: event.ActorHijacker,
+		Archetype: c.cfg.Archetype,
 	})
 	if res.Outcome == event.LoginWrongPassword {
 		// Retry with a trivial variant; stale passwords stay stale.
 		res = c.auth.Login(auth.LoginReq{
 			Account: cred.Account, Password: cred.Password + "1", IP: ip,
 			DeviceID: device, Principal: c.principal(), Actor: event.ActorHijacker,
+			Archetype: c.cfg.Archetype,
 		})
 	}
 	if res.Outcome == event.LoginWrongPassword && c.recovery != nil &&
@@ -443,7 +467,7 @@ func (c *Crew) process(cred phishkit.Credential) bool {
 	start := c.clock.Now()
 	c.log.Append(event.HijackStarted{
 		Base: event.Base{Time: start}, Account: cred.Account,
-		Crew: c.cfg.Name, Session: res.Session,
+		Crew: c.cfg.Name, Session: res.Session, Archetype: c.cfg.Archetype,
 	})
 	fromTargeted := false
 	if p := c.inf.Page(cred.Page); p != nil && p.Targeted {
@@ -538,6 +562,7 @@ func (c *Crew) decide(st *assessState) {
 	c.log.Append(event.HijackAssessed{
 		Base: event.Base{Time: c.clock.Now()}, Account: st.acct,
 		Crew: c.cfg.Name, Duration: st.budget, Exploited: exploited,
+		Archetype: c.cfg.Archetype,
 	})
 	if !exploited {
 		c.Abandoned++
@@ -586,7 +611,7 @@ func (c *Crew) sendScams(st *assessState, acct *identity.Account, work time.Dura
 			// scheme needs at least two rounds of mail anyway (§5.4).
 			msgs = 6 + c.rng.Intn(6)
 		}
-		chunks := chunkContacts(st.contacts, msgs)
+		chunks := ChunkContacts(st.contacts, msgs)
 		for len(chunks) > 0 && len(batches) < msgs {
 			for _, ch := range chunks {
 				if len(batches) >= msgs {
@@ -617,7 +642,7 @@ func (c *Crew) sendScams(st *assessState, acct *identity.Account, work time.Dura
 // path, blasts repeat over the contact chunks across several rounds.
 func (c *Crew) sendPhishing(st *assessState, acct *identity.Account, work time.Duration, pageID event.PageID) {
 	msgs := 3 + c.rng.Intn(5)
-	chunks := chunkContacts(st.contacts, msgs)
+	chunks := ChunkContacts(st.contacts, msgs)
 	var batches [][]identity.Address
 	for len(chunks) > 0 && len(batches) < msgs {
 		for _, ch := range chunks {
@@ -706,7 +731,7 @@ func (c *Crew) finish(st *assessState, lockedOut bool) {
 	delete(c.exploitMark, st.acct)
 	c.log.Append(event.HijackEnded{
 		Base: event.Base{Time: c.clock.Now()}, Account: st.acct,
-		Crew: c.cfg.Name, LockedOut: lockedOut,
+		Crew: c.cfg.Name, LockedOut: lockedOut, Archetype: c.cfg.Archetype,
 	})
 	if c.listener != nil {
 		c.listener.HijackEnded(c.cfg.Name, st.acct, st.start, lockedOut, exploited)
@@ -718,11 +743,14 @@ func (c *Crew) searchTerm() string {
 	return c.terms.Choose(c.rng)
 }
 
-// chunkContacts splits contacts into up to n batches, keeping every batch
+// ChunkContacts splits contacts into up to n batches, keeping every batch
 // at a "high number of recipients" (at least minBatchRecipients when the
 // contact list allows it — §5.3: uncustomized messages go to many
 // recipients, and only ~6% of cases involve sub-ten-recipient mail).
-func chunkContacts(contacts []identity.Address, n int) [][]identity.Address {
+// n <= 0 (including config-derived chunk counts from the playbook
+// archetypes, which call this with arbitrary settings) is clamped to a
+// single batch rather than left to the caller.
+func ChunkContacts(contacts []identity.Address, n int) [][]identity.Address {
 	const minBatchRecipients = 12
 	if len(contacts) == 0 {
 		return nil

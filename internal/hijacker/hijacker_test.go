@@ -1,6 +1,7 @@
 package hijacker
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -434,23 +435,64 @@ func TestLanguageLexiconSkew(t *testing.T) {
 }
 
 func TestChunkContacts(t *testing.T) {
-	cs := make([]identity.Address, 10)
-	for i := range cs {
-		cs[i] = identity.Address(string(rune('a' + i)))
+	mkContacts := func(n int) []identity.Address {
+		cs := make([]identity.Address, n)
+		for i := range cs {
+			cs[i] = identity.Address(fmt.Sprintf("c%03d@x", i))
+		}
+		return cs
 	}
-	batches := chunkContacts(cs, 3)
-	total := 0
-	for _, b := range batches {
-		total += len(b)
+	cases := []struct {
+		name       string
+		contacts   int
+		n          int
+		wantBatch  int // exact batch count; -1 = only invariants
+		wantNilOut bool
+	}{
+		{name: "even split", contacts: 36, n: 3, wantBatch: 3},
+		{name: "nil contacts", contacts: 0, n: 3, wantNilOut: true},
+		{name: "zero n clamps to one batch", contacts: 10, n: 0, wantBatch: 1},
+		{name: "negative n clamps to one batch", contacts: 10, n: -4, wantBatch: 1},
+		{name: "n larger than contacts", contacts: 5, n: 100, wantBatch: 1},
+		{name: "small list stays whole", contacts: 10, n: 3, wantBatch: 1},
+		{name: "trailing remainder merges", contacts: 40, n: 3, wantBatch: -1},
+		{name: "large list many chunks", contacts: 500, n: 8, wantBatch: -1},
 	}
-	if total != 10 {
-		t.Fatalf("chunking lost contacts: %d", total)
-	}
-	if got := chunkContacts(nil, 3); got != nil {
-		t.Fatal("empty contacts should chunk to nil")
-	}
-	if got := chunkContacts(cs, 0); len(got) != 1 {
-		t.Fatalf("n=0 should clamp to one batch, got %d", len(got))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cs := mkContacts(tc.contacts)
+			got := ChunkContacts(cs, tc.n)
+			if tc.wantNilOut {
+				if got != nil {
+					t.Fatalf("want nil, got %d batches", len(got))
+				}
+				return
+			}
+			if tc.wantBatch >= 0 && len(got) != tc.wantBatch {
+				t.Fatalf("got %d batches, want %d", len(got), tc.wantBatch)
+			}
+			// Invariants for every case: nothing lost, nothing
+			// duplicated, order preserved, and no undersized batch
+			// unless the whole list is small.
+			var flat []identity.Address
+			for _, b := range got {
+				if len(b) == 0 {
+					t.Fatal("empty batch emitted")
+				}
+				if len(got) > 1 && len(b) < 12 {
+					t.Fatalf("batch of %d recipients below the high-recipient floor", len(b))
+				}
+				flat = append(flat, b...)
+			}
+			if len(flat) != tc.contacts {
+				t.Fatalf("chunking changed contact count: %d, want %d", len(flat), tc.contacts)
+			}
+			for i, addr := range flat {
+				if addr != cs[i] {
+					t.Fatalf("order broken at %d: %s != %s", i, addr, cs[i])
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,209 @@
+// Package playbook is the pluggable attacker subsystem: the actor
+// contract the manual hijacker crews (internal/hijacker) already satisfy
+// — credential intake from phishing pages, scheduled ticks off the
+// simulation clock, IP/device selection, event emission into the log —
+// extracted into an interface plus shared scaffolding, with a registry of
+// named attacker archetypes behind it.
+//
+// The manual crew of the source paper is the first registered playbook;
+// the rest come from the anti-abuse FRAUD_TYPES catalog (smash & grab,
+// low & slow, country hopper, data thief, credential stuffer, and
+// friends) and from related work: the enterprise lateral phisher that
+// spreads account→contacts inside the org graph (Ho et al. 2019, Shah et
+// al. 2020), and the impersonation-as-a-service attacker that replays the
+// victim's own browser fingerprint so device-novelty scoring is blind to
+// it (Campobasso & Allodi 2020).
+//
+// Every actor stamps its archetype name on the login and hijack-lifecycle
+// records it emits (ground truth that survives dumps), which is what the
+// per-archetype detection scorecard (analysis.ArchetypeScorecard) keys
+// on. Detectors must not read the tag.
+package playbook
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/hijacker"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/logstore"
+	"manualhijack/internal/mail"
+	"manualhijack/internal/phishkit"
+	"manualhijack/internal/randx"
+	"manualhijack/internal/simtime"
+)
+
+// Actor is the attacker contract: an agent that receives phished
+// credentials, schedules its own activity against the simulation clock,
+// and works accounts through the same provider services victims use.
+// hijacker.Crew satisfies it; so does every scaffolded archetype here.
+type Actor interface {
+	phishkit.CredentialSink
+	// Name identifies the actor instance (unique within a world).
+	Name() string
+	// Archetype names the playbook the actor runs ("manual", "smashgrab",
+	// ...) — the ground-truth tag on its emitted events.
+	Archetype() string
+	// Country is the actor's home origin (IP pool allocation).
+	Country() geo.Country
+	// Start schedules the actor's activity until end. Called exactly once.
+	Start(end time.Time)
+}
+
+// StatsProvider is the optional counters surface actors expose for CLI
+// tables and calibration (both hijacker.Crew and Scaffold implement it).
+type StatsProvider interface {
+	ActorStats() (processed, loggedIn, exploited int)
+}
+
+// Env is the world wiring an actor operates against. Rng is the world's
+// root stream: every actor forks its own substream by name, so actor
+// construction order cannot perturb anyone else's randomness.
+type Env struct {
+	Clock *simtime.Clock
+	Log   *logstore.Store
+	Rng   *randx.Rand
+	Dir   *identity.Directory
+	Mail  *mail.Service
+	Auth  *auth.Service
+	Inf   *phishkit.Infrastructure
+	Plan  *geo.IPPlan
+	// Listener receives hijack-ended callbacks (the victim manager);
+	// optional.
+	Listener hijacker.Listener
+}
+
+// Config is the archetype-independent knob set. Zero values mean the
+// archetype's own defaults (each constructor fills in a home country, a
+// working schedule, and IP discipline appropriate to its pattern).
+type Config struct {
+	Name    string
+	Country geo.Country
+	// IPPoolSize / MaxAccountsPerIPDay bound the per-day disciplined IP
+	// pool (§5.1's under-10-accounts-per-IP discipline). Archetypes that
+	// deliberately break the discipline (the credential stuffer) ignore
+	// the cap by design.
+	IPPoolSize          int
+	MaxAccountsPerIPDay int
+	// WorkStartUTC/WorkEndUTC bound the working day; equal values mean
+	// around-the-clock operation. WeekendsOff keeps Saturday/Sunday idle.
+	WorkStartUTC int
+	WorkEndUTC   int
+	WeekendsOff  bool
+}
+
+// Constructor builds one actor instance of an archetype.
+type Constructor func(cfg Config, env Env) Actor
+
+var archetypes = map[string]Constructor{}
+
+// Register adds an archetype constructor under name. Panics on duplicate
+// registration — archetype names are ground-truth labels and must be
+// unambiguous.
+func Register(name string, ctor Constructor) {
+	if _, dup := archetypes[name]; dup {
+		panic("playbook: duplicate archetype " + name)
+	}
+	archetypes[name] = ctor
+}
+
+// Names returns every registered archetype name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(archetypes))
+	for name := range archetypes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds an actor of the named archetype. Unknown names error (they
+// would silently drop attack traffic otherwise).
+func New(archetype string, cfg Config, env Env) (Actor, error) {
+	ctor, ok := archetypes[archetype]
+	if !ok {
+		return nil, fmt.Errorf("playbook: unknown archetype %q (have %s)",
+			archetype, strings.Join(Names(), ", "))
+	}
+	if cfg.Name == "" {
+		cfg.Name = archetype
+	}
+	return ctor(cfg, env), nil
+}
+
+// RosterEntry is one parsed `-archetypes` element: an archetype and how
+// many instances of it to field.
+type RosterEntry struct {
+	Archetype string
+	Count     int
+}
+
+// ParseRoster parses a CLI roster spec like "smashgrab:3,stuffer:2" (a
+// bare name means count 1). Every name is validated against the registry
+// so typos fail loudly instead of silently fielding no attackers.
+func ParseRoster(spec string) ([]RosterEntry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []RosterEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, countStr, hasCount := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if _, ok := archetypes[name]; !ok {
+			return nil, fmt.Errorf("playbook: unknown archetype %q (have %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		count := 1
+		if hasCount {
+			n, err := strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("playbook: bad count %q for archetype %q", countStr, name)
+			}
+			count = n
+		}
+		out = append(out, RosterEntry{Archetype: name, Count: count})
+	}
+	return out, nil
+}
+
+// newManual wraps a manual hijacker crew (the paper's attacker) as a
+// registered playbook. It runs the crew's full pipeline — office-hours
+// queue work, ~3-minute value assessment, scam/contact-phishing
+// exploitation, retention tactics.
+func newManual(cfg Config, env Env) Actor {
+	if cfg.Country == "" {
+		cfg.Country = geo.IvoryCoast
+	}
+	hcfg := hijacker.DefaultConfig(cfg.Name, cfg.Country, hijacker.LangEN)
+	if cfg.IPPoolSize > 0 {
+		hcfg.IPPoolSize = cfg.IPPoolSize
+	}
+	if cfg.MaxAccountsPerIPDay > 0 {
+		hcfg.MaxAccountsPerIPDay = cfg.MaxAccountsPerIPDay
+	}
+	if cfg.WorkEndUTC > cfg.WorkStartUTC {
+		hcfg.WorkStartUTC = cfg.WorkStartUTC
+		hcfg.WorkEndUTC = cfg.WorkEndUTC
+		hcfg.LunchUTC = cfg.WorkStartUTC + (cfg.WorkEndUTC-cfg.WorkStartUTC)/2
+	}
+	crew := hijacker.NewCrew(hcfg, env.Clock, env.Log, env.Rng,
+		env.Dir, env.Mail, env.Auth, env.Inf, env.Plan)
+	if env.Listener != nil {
+		crew.SetListener(env.Listener)
+	}
+	return crew
+}
+
+func init() {
+	Register(hijacker.ManualArchetype, newManual)
+}

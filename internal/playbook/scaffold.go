@@ -1,0 +1,258 @@
+package playbook
+
+import (
+	"net/netip"
+	"time"
+
+	"manualhijack/internal/auth"
+	"manualhijack/internal/challenge"
+	"manualhijack/internal/event"
+	"manualhijack/internal/geo"
+	"manualhijack/internal/hijacker"
+	"manualhijack/internal/identity"
+	"manualhijack/internal/mail"
+	"manualhijack/internal/phishkit"
+	"manualhijack/internal/randx"
+)
+
+// Scaffold carries the machinery every archetype shares: the forked
+// random stream, the credential queue with dedupe, the per-day
+// disciplined IP pool, the kit device fingerprint, hijack lifecycle
+// logging, and headline counters. Archetypes embed it and add behavior.
+type Scaffold struct {
+	Cfg Config
+	E   Env
+	// Rng is the actor's private substream, forked by name so
+	// construction order cannot perturb other actors.
+	Rng *randx.Rand
+
+	arch   string
+	device string
+
+	queue []phishkit.Credential
+	seen  map[identity.AccountID]bool
+
+	ticking bool
+	end     time.Time
+
+	// Disciplined per-day IP pool (the crew's pickIP generalized): fill
+	// one cloaking-service address to the per-IP daily account cap before
+	// allocating the next, up to IPPoolSize fresh addresses per day.
+	ips        []netip.Addr
+	ipDayStart time.Time
+	ipUse      map[netip.Addr]map[identity.AccountID]bool
+
+	Processed int
+	LoggedIn  int
+	Exploited int
+}
+
+// NewScaffold builds the shared actor base for one archetype instance.
+func NewScaffold(archetype string, cfg Config, env Env) *Scaffold {
+	if cfg.IPPoolSize <= 0 {
+		cfg.IPPoolSize = 30
+	}
+	if cfg.MaxAccountsPerIPDay <= 0 {
+		cfg.MaxAccountsPerIPDay = 10
+	}
+	return &Scaffold{
+		Cfg:    cfg,
+		E:      env,
+		Rng:    env.Rng.Fork("playbook/" + cfg.Name),
+		arch:   archetype,
+		device: "kit-" + cfg.Name,
+		seen:   map[identity.AccountID]bool{},
+		ipUse:  map[netip.Addr]map[identity.AccountID]bool{},
+	}
+}
+
+// Name implements Actor.
+func (s *Scaffold) Name() string { return s.Cfg.Name }
+
+// Country implements Actor.
+func (s *Scaffold) Country() geo.Country { return s.Cfg.Country }
+
+// Archetype implements Actor.
+func (s *Scaffold) Archetype() string { return s.arch }
+
+// ActorStats implements StatsProvider.
+func (s *Scaffold) ActorStats() (processed, loggedIn, exploited int) {
+	return s.Processed, s.LoggedIn, s.Exploited
+}
+
+// CredentialCaptured implements phishkit.CredentialSink: captured
+// credentials enter the work queue, deduplicated per account.
+func (s *Scaffold) CredentialCaptured(cred phishkit.Credential) {
+	if s.seen[cred.Account] {
+		return
+	}
+	s.seen[cred.Account] = true
+	s.queue = append(s.queue, cred)
+}
+
+// QueueLen returns the pending-credential backlog.
+func (s *Scaffold) QueueLen() int { return len(s.queue) }
+
+// PopCred takes the oldest queued credential.
+func (s *Scaffold) PopCred() (phishkit.Credential, bool) {
+	if len(s.queue) == 0 {
+		return phishkit.Credential{}, false
+	}
+	cred := s.queue[0]
+	s.queue = s.queue[1:]
+	return cred, true
+}
+
+// Requeue returns a credential to the front of the queue (IP pool
+// exhausted for the day; retry tomorrow).
+func (s *Scaffold) Requeue(cred phishkit.Credential) {
+	s.queue = append([]phishkit.Credential{cred}, s.queue...)
+}
+
+// StartTicks begins the actor's periodic work loop. Guards against
+// double starts, which would double-spend the random stream.
+func (s *Scaffold) StartTicks(every time.Duration, end time.Time, tick func()) {
+	if s.ticking {
+		panic("playbook: actor " + s.Cfg.Name + " started twice")
+	}
+	s.ticking = true
+	s.end = end
+	s.E.Clock.Every(every, end, tick)
+}
+
+// MarkStarted records the activity horizon for archetypes that schedule
+// everything from credential callbacks instead of a tick loop.
+func (s *Scaffold) MarkStarted(end time.Time) {
+	if s.ticking {
+		panic("playbook: actor " + s.Cfg.Name + " started twice")
+	}
+	s.ticking = true
+	s.end = end
+}
+
+// End returns the activity horizon set at Start.
+func (s *Scaffold) End() time.Time { return s.end }
+
+// Working reports whether t falls inside the configured working window.
+// Zero-width windows mean the actor operates around the clock.
+func (s *Scaffold) Working(t time.Time) bool {
+	if s.Cfg.WeekendsOff {
+		switch t.Weekday() {
+		case time.Saturday, time.Sunday:
+			return false
+		}
+	}
+	if s.Cfg.WorkEndUTC <= s.Cfg.WorkStartUTC {
+		return true
+	}
+	h := t.Hour()
+	return h >= s.Cfg.WorkStartUTC && h < s.Cfg.WorkEndUTC
+}
+
+// PickIP returns a home-country IP whose distinct-account count today is
+// under the discipline cap, filling one address before allocating the
+// next. Reports false when the day's pool is exhausted.
+func (s *Scaffold) PickIP(acct identity.AccountID) (netip.Addr, bool) {
+	day := dayOf(s.E.Clock.Now())
+	if !s.ipDayStart.Equal(day) {
+		s.ipDayStart = day
+		s.ips = s.ips[:0]
+		s.ipUse = map[netip.Addr]map[identity.AccountID]bool{}
+	}
+	for _, ip := range s.ips {
+		u := s.ipUse[ip]
+		if u[acct] || len(u) < s.Cfg.MaxAccountsPerIPDay {
+			u[acct] = true
+			return ip, true
+		}
+	}
+	if len(s.ips) >= s.Cfg.IPPoolSize {
+		return netip.Addr{}, false
+	}
+	ip := s.E.Plan.Addr(s.Rng, s.Cfg.Country)
+	s.ips = append(s.ips, ip)
+	s.ipUse[ip] = map[identity.AccountID]bool{acct: true}
+	return ip, true
+}
+
+// FreshIP draws a new address in the given country, outside the
+// disciplined pool — for archetypes whose signature is precisely that
+// they ignore IP discipline (stuffers, hoppers).
+func (s *Scaffold) FreshIP(country geo.Country) netip.Addr {
+	return s.E.Plan.Addr(s.Rng, country)
+}
+
+// Device is the actor's shared kit fingerprint.
+func (s *Scaffold) Device() string { return s.device }
+
+// Principal is the challenge identity archetypes present: no phones, a
+// sliver of guessing skill — scaffolded archetypes are not the paper's
+// phone-equipped manual crews, so challenges usually stop them.
+func (s *Scaffold) Principal() challenge.Principal {
+	return challenge.Principal{KnowledgeSkill: 0.1}
+}
+
+// Login performs one tagged hijacker login attempt.
+func (s *Scaffold) Login(acct identity.AccountID, password string, ip netip.Addr, device string) auth.LoginResult {
+	return s.E.Auth.Login(auth.LoginReq{
+		Account: acct, Password: password, IP: ip, DeviceID: device,
+		Principal: s.Principal(), Actor: event.ActorHijacker,
+		Archetype: s.arch,
+	})
+}
+
+// LogStart emits the tagged HijackStarted record.
+func (s *Scaffold) LogStart(acct identity.AccountID, sess event.SessionID) {
+	s.E.Log.Append(event.HijackStarted{
+		Base: event.Base{Time: s.E.Clock.Now()}, Account: acct,
+		Crew: s.Cfg.Name, Session: sess, Archetype: s.arch,
+	})
+}
+
+// LogEnd emits the tagged HijackEnded record and notifies the listener
+// so victim recovery machinery can react.
+func (s *Scaffold) LogEnd(acct identity.AccountID, hijackedAt time.Time, lockedOut, exploited bool) {
+	s.E.Log.Append(event.HijackEnded{
+		Base: event.Base{Time: s.E.Clock.Now()}, Account: acct,
+		Crew: s.Cfg.Name, LockedOut: lockedOut, Archetype: s.arch,
+	})
+	if s.E.Listener != nil {
+		s.E.Listener.HijackEnded(s.Cfg.Name, acct, hijackedAt, lockedOut, exploited)
+	}
+}
+
+// Contacts harvests the account's address book in-session.
+func (s *Scaffold) Contacts(acct identity.AccountID, sess event.SessionID) []identity.Address {
+	return s.E.Mail.ViewContacts(acct, sess, event.ActorHijacker)
+}
+
+// SendBatches blasts recipients in ChunkContacts batches from the
+// hijacked account until the recipient-slot target is reached (the full
+// list repeats if shorter than the target). Returns recipient slots used.
+func (s *Scaffold) SendBatches(acct identity.AccountID, sess event.SessionID, recipients []identity.Address, target, nChunks int, class event.MessageClass, customized bool, keywords []string, pageID event.PageID) int {
+	rec := s.E.Dir.Get(acct)
+	if rec == nil || len(recipients) == 0 || target <= 0 {
+		return 0
+	}
+	chunks := hijacker.ChunkContacts(recipients, nChunks)
+	sent := 0
+	for sent < target {
+		for _, ch := range chunks {
+			if sent >= target {
+				break
+			}
+			s.E.Mail.Send(mail.SendReq{
+				FromAcct: acct, FromAddr: rec.Addr, Recipients: ch,
+				Keywords: keywords, Class: class, Customized: customized,
+				PageID: pageID, Session: sess, Actor: event.ActorHijacker,
+			})
+			sent += len(ch)
+		}
+	}
+	return sent
+}
+
+// dayOf truncates t to its UTC day (IP pool bookkeeping).
+func dayOf(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+}

@@ -246,6 +246,27 @@ func renderArtifacts(w io.Writer, r *core.StudyReport) {
 	}
 	Table(w, "§8.1 — login-risk threshold sweep (counterfactual)",
 		[]string{"threshold", "hijackers challenged", "owners challenged"}, sweep)
+
+	// ---- per-archetype scorecard (playbook actors, when fielded) ----
+	if sc := r.ArchetypeScorecard; len(sc.Rows) > 0 {
+		fmt.Fprintln(w)
+		rows := [][]string{}
+		for _, row := range sc.Rows {
+			rows = append(rows, []string{
+				row.Archetype,
+				fmt.Sprintf("%d", row.Accounts), fmt.Sprintf("%d", row.Attempts),
+				fmt.Sprintf("%d", row.Logins), fmt.Sprintf("%d", row.Challenged),
+				fmt.Sprintf("%d", row.Blocked), Pct(row.Recall),
+				row.MedianTTD.Round(time.Second).String(),
+			})
+		}
+		Table(w, "§8.1 — per-archetype detection scorecard (2012 world)",
+			[]string{"archetype", "accts", "attempts", "in", "challenged", "blocked", "recall", "median-ttd"},
+			rows)
+		fmt.Fprintf(w, "  owner FP cost: %d logins, %d challenged (%s), %d blocked (%s)\n",
+			sc.OwnerLogins, sc.OwnerChallenged, Pct2(sc.OwnerChallengedShare),
+			sc.OwnerBlocked, Pct2(sc.OwnerBlockedShare))
+	}
 }
 
 func deltaPct(f float64) string { return fmt.Sprintf("%+.0f%%", f*100) }

@@ -111,3 +111,62 @@ func TestReplayParity(t *testing.T) {
 		t.Fatal("unprimed engine replayed with zero mismatches — the parity check has no teeth")
 	}
 }
+
+// TestReplayParityArchetypes re-runs the parity gate over an
+// archetype-heavy dump. The roster is deliberately stuffer-heavy: a
+// credential stuffer validates many accounts from one IP in tight
+// bursts, which is the worst case for the union-find lane planner (one
+// shared IP welds many otherwise-independent account lanes together).
+// Parity must still hold at full concurrency with batching.
+func TestReplayParityArchetypes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity test runs a world")
+	}
+	cfg := core.DefaultConfig(13)
+	cfg.Days = 8
+	cfg.PopulationN = 800
+	cfg.DecoyN = 30
+	cfg.Archetypes = []core.ArchetypeSpec{
+		{Archetype: "stuffer", Count: 3},
+		{Archetype: "smashgrab", Count: 2},
+		{Archetype: "hopper", Count: 1},
+		{Archetype: "impaas", Count: 1},
+	}
+	w := core.NewWorld(cfg)
+	w.Run()
+
+	var buf bytes.Buffer
+	meta := logstore.Meta{Start: cfg.Start, End: w.End(), Seed: cfg.Seed}
+	if err := logstore.WriteNDJSONMeta(&buf, w.Log, meta); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := logstore.ReadNDJSONWith(bytes.NewReader(buf.Bytes()), logstore.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ecfg := serve.DefaultConfig(cfg.Seed)
+	ecfg.Shards = 4
+	dir := core.NewStudyDirectory(cfg.Seed, cfg.Start, cfg.PopulationN+cfg.DecoyN)
+	e := serve.New(dir, core.DefaultIPPlan(), ecfg)
+	e.Prime()
+	ts := httptest.NewServer(serve.NewServer(e, serve.ServerConfig{}).Handler())
+	t.Cleanup(ts.Close)
+
+	rs, err := serve.Replay(st, &serve.Client{Base: ts.URL}, serve.ReplayConfig{
+		ChallengeThreshold: cfg.Auth.ChallengeThreshold,
+		BlockThreshold:     cfg.Auth.BlockThreshold,
+		Workers:            4,
+		BatchSize:          64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Mismatches != 0 {
+		t.Fatalf("archetype replay parity: %d mismatches of %d scored; first: %s",
+			rs.Mismatches, rs.Scored, rs.FirstMismatch)
+	}
+	if rs.Scored < 1000 {
+		t.Fatalf("replay scored only %d logins — world too quiet to prove anything", rs.Scored)
+	}
+}

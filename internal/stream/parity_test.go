@@ -42,6 +42,25 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		cfg.Crews = core.Roster2014()
 		assertParity(t, cfg, time.Duration(cfg.Days)*16*time.Hour)
 	})
+
+	// A mixed-archetype world exercises the scorecard rows: every playbook
+	// fielded at once, so the streaming scorecard must agree with batch on
+	// a log containing every archetype tag.
+	t.Run("mixed-archetype-world", func(t *testing.T) {
+		cfg := core.DefaultConfig(23)
+		cfg.PopulationN = 600
+		cfg.Days = 12
+		cfg.DecoyN = 10
+		cfg.Archetypes = []core.ArchetypeSpec{
+			{Archetype: "smashgrab", Count: 2},
+			{Archetype: "stuffer", Count: 2},
+			{Archetype: "datathief", Count: 1},
+			{Archetype: "hopper", Count: 1},
+			{Archetype: "lowslow", Count: 1},
+			{Archetype: "impaas", Count: 1},
+		}
+		assertParity(t, cfg, time.Duration(cfg.Days)*16*time.Hour)
+	})
 }
 
 // assertParity builds a world from cfg, feeds one bus live off the
@@ -70,6 +89,7 @@ func assertParity(t *testing.T, cfg core.Config, decoyOver time.Duration) {
 		Fig6:      r.Fig6,
 		Fig8:      r.Fig8,
 		Fig11:     r.Fig11,
+		Scorecard: r.ArchetypeScorecard,
 	}
 
 	liveSnap := live.Snapshot()
@@ -115,5 +135,8 @@ func logFirstDiff(t *testing.T, got, want stream.Report) {
 	}
 	if !reflect.DeepEqual(got.Fig11, want.Fig11) {
 		t.Logf("figure-11:\n  stream: %+v\n  batch:  %+v", got.Fig11, want.Fig11)
+	}
+	if !reflect.DeepEqual(got.Scorecard, want.Scorecard) {
+		t.Logf("archetype-scorecard:\n  stream: %+v\n  batch:  %+v", got.Scorecard, want.Scorecard)
 	}
 }

@@ -51,10 +51,11 @@ type Report struct {
 	// LastEvent is the timestamp high-water mark.
 	LastEvent string `json:"last_event,omitempty"`
 
-	Lifecycle analysis.Lifecycle `json:"lifecycle"`
-	Fig6      analysis.Figure6   `json:"figure6_arrival_decay"`
-	Fig8      analysis.Figure8   `json:"figure8_ip_fanout"`
-	Fig11     analysis.Figure11  `json:"figure11_geo_clusters"`
+	Lifecycle analysis.Lifecycle          `json:"lifecycle"`
+	Fig6      analysis.Figure6            `json:"figure6_arrival_decay"`
+	Fig8      analysis.Figure8            `json:"figure8_ip_fanout"`
+	Fig11     analysis.Figure11           `json:"figure11_geo_clusters"`
+	Scorecard analysis.ArchetypeScorecard `json:"archetype_scorecard"`
 }
 
 // AnalysisDiff compares the analysis fields of two reports (ignoring the
@@ -75,6 +76,9 @@ func AnalysisDiff(a, b Report) []string {
 	if !reflect.DeepEqual(a.Fig11, b.Fig11) {
 		diffs = append(diffs, "figure-11")
 	}
+	if !reflect.DeepEqual(a.Scorecard, b.Scorecard) {
+		diffs = append(diffs, "archetype-scorecard")
+	}
 	return diffs
 }
 
@@ -88,6 +92,7 @@ func DefaultSuite(plan *geo.IPPlan) []Incremental {
 		NewArrivalDecay(analysis.DefaultFigure6SamplePages),
 		NewIPFanout(),
 		NewGeoClusters(plan, analysis.DefaultFigure11Cases),
+		NewScorecard(),
 	}
 }
 
@@ -102,6 +107,18 @@ func NewLifecycle() *Lifecycle {
 func (l *Lifecycle) Name() string          { return "lifecycle" }
 func (l *Lifecycle) Observe(e event.Event) { l.b.Observe(e) }
 func (l *Lifecycle) Report(r *Report)      { r.Lifecycle = l.b.Lifecycle() }
+
+// Scorecard streams the per-archetype detection scorecard.
+type Scorecard struct{ b *analysis.ArchetypeScorecardBuilder }
+
+// NewScorecard returns an empty streaming scorecard.
+func NewScorecard() *Scorecard {
+	return &Scorecard{b: analysis.NewArchetypeScorecardBuilder()}
+}
+
+func (s *Scorecard) Name() string          { return "archetype-scorecard" }
+func (s *Scorecard) Observe(e event.Event) { s.b.Observe(e) }
+func (s *Scorecard) Report(r *Report)      { r.Scorecard = s.b.Scorecard() }
 
 // ArrivalDecay streams Figure 6's campaign credential-arrival profile.
 type ArrivalDecay struct {
